@@ -1,0 +1,47 @@
+// Infrastructure benchmark: thread-parallel phase simulation.
+//
+// Not a paper experiment — this measures the simulator itself: the sharded
+// parallel store-and-forward simulator must match the serial one bit for
+// bit (tests enforce that) and should win wall-clock on large phases.
+#include <benchmark/benchmark.h>
+
+#include "bench/table.hpp"
+#include "core/cycle_multipath.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/phase.hpp"
+
+namespace hyperpath {
+namespace {
+
+void BM_SerialPhase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto emb = theorem1_cycle_embedding(n);
+  const auto packets = phase_packets(emb, n);
+  StoreForwardSim sim(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(packets).makespan);
+  }
+}
+BENCHMARK(BM_SerialPhase)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelPhase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const auto emb = theorem1_cycle_embedding(n);
+  const auto packets = phase_packets(emb, n);
+  ParallelStoreForwardSim sim(n, threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(packets).makespan);
+  }
+}
+BENCHMARK(BM_ParallelPhase)
+    ->Args({10, 2})
+    ->Args({10, 4})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hyperpath
+
+BENCHMARK_MAIN();

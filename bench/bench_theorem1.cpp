@@ -1,0 +1,60 @@
+// Experiment E2 (Theorem 1).
+//
+// The 2^n-node directed cycle in Q_n: width ⌊n/2⌋ (2⌊n/4⌋+1 paths built),
+// ⌊n/2⌋-packet cost 3, and the stronger (2k+2)-packet cost 3 via the
+// staged direct-path schedule.
+#include <benchmark/benchmark.h>
+
+#include "bench/table.hpp"
+#include "core/cycle_multipath.hpp"
+#include "core/lower_bounds.hpp"
+#include "sim/phase.hpp"
+
+namespace hyperpath {
+namespace {
+
+void print_table() {
+  bench::Table t(
+      "E2: Theorem 1 — width-⌊n/2⌋ cycle embeddings",
+      {"n", "width built", "⌊n/2⌋", "load", "dilation",
+       "⌊n/2⌋-pkt cost (paper: 3)", "(2k+2)-pkt cost (paper: 3)",
+       "3-step slot slack"});
+  for (int n : {4, 5, 6, 7, 8, 9, 10, 11, 16}) {
+    const auto emb = theorem1_cycle_embedding(n);
+    const int k = n / 4;
+    StoreForwardSim sim(n);
+    const int cost_halfn = measure_phase_cost(emb, n / 2).makespan;
+    const int cost_2k2 =
+        sim.run(theorem1_schedule_packets(emb, 2 * k + 2)).makespan;
+    t.row(n, emb.width(), n / 2, emb.load(), emb.dilation(), cost_halfn,
+          cost_2k2, edge_slot_slack(emb, 3));
+  }
+  t.print();
+}
+
+void BM_Theorem1Construct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(theorem1_cycle_embedding(n).width());
+  }
+}
+BENCHMARK(BM_Theorem1Construct)->Arg(8)->Arg(10)->Arg(16);
+
+void BM_Theorem1Phase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto emb = theorem1_cycle_embedding(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_phase_cost(emb, n / 2).makespan);
+  }
+}
+BENCHMARK(BM_Theorem1Phase)->Arg(8)->Arg(10);
+
+}  // namespace
+}  // namespace hyperpath
+
+int main(int argc, char** argv) {
+  hyperpath::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

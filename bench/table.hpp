@@ -1,0 +1,74 @@
+// Shared table printer for the benchmark harness.
+//
+// Every bench binary regenerates one experiment row from DESIGN.md's index:
+// it prints the measured table (the paper's "shape" — who wins, by what
+// factor, where bounds sit) and then runs google-benchmark timings for the
+// construction/simulation kernels.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hyperpath::bench {
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  template <typename... Cells>
+  void row(Cells... cells) {
+    std::vector<std::string> r;
+    (r.push_back(to_cell(cells)), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = columns_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    std::printf("\n== %s ==\n", title_.c_str());
+    print_row(columns_, width);
+    std::string sep;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      sep += std::string(width[c] + 2, '-');
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& r : rows_) print_row(r, width);
+    std::printf("\n");
+  }
+
+ private:
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+    return buf;
+  }
+  template <typename T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+  static void print_row(const std::vector<std::string>& r,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), r[c].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hyperpath::bench

@@ -1,0 +1,71 @@
+// Fault-tolerant bulk transfer with IDA over a multiple-path embedding
+// (the application sketched in the paper's introduction via Rabin's IDA).
+//
+//   $ ./fault_tolerant_transfer [faults] [kilobytes]
+//
+// Encodes a message into w fragments (any w−1 reconstruct), sends one
+// fragment down each of the w edge-disjoint paths of a Theorem 1 bundle,
+// kills random links, and reconstructs from whatever arrived.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/cycle_multipath.hpp"
+#include "sim/faults.hpp"
+#include "sim/ida.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyperpath;
+  const int faults = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int kib = argc > 2 ? std::atoi(argv[2]) : 64;
+  const int n = 8;
+
+  const auto emb = theorem1_cycle_embedding(n);
+  const int w = emb.width();
+  std::printf("Q_%d, width-%d bundles; injecting %d random link faults\n", n,
+              w, faults);
+
+  Rng rng(20260706);
+  const auto fault_set = FaultSet::random(n, faults, rng);
+
+  // The payload.
+  std::vector<std::uint8_t> message(static_cast<std::size_t>(kib) * 1024);
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 13);
+  }
+
+  // Encode into w fragments, threshold w−1 (tolerates one dead path per
+  // edge at ~w/(w−1) redundancy).
+  const auto fragments = ida_encode(message, w, w - 1);
+  std::size_t frag_bytes = 0;
+  for (const auto& f : fragments) frag_bytes += f.payload.size();
+  std::printf("message %zu bytes → %d fragments, %zu bytes total (%.2fx)\n",
+              message.size(), w, frag_bytes,
+              static_cast<double>(frag_bytes) / message.size());
+
+  // Transfer over every guest edge's bundle and tally outcomes.
+  std::size_t ok = 0, degraded = 0, lost = 0, single_path_lost = 0;
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const auto bundle = emb.paths(e);
+    std::vector<IdaFragment> received;
+    for (int i = 0; i < w; ++i) {
+      if (fault_set.path_alive(bundle[i])) received.push_back(fragments[i]);
+    }
+    // The single-path comparison: ship everything down the direct path.
+    single_path_lost += !fault_set.path_alive(bundle.back());
+
+    const auto decoded = ida_decode(received, w - 1, message.size());
+    if (decoded && *decoded == message) {
+      (static_cast<int>(received.size()) == w ? ok : degraded) += 1;
+    } else {
+      ++lost;
+    }
+  }
+  const std::size_t edges = emb.guest().num_edges();
+  std::printf("\nper-edge outcomes over %zu guest edges:\n", edges);
+  std::printf("  all %d paths intact, recovered:    %zu\n", w, ok);
+  std::printf("  paths lost but IDA recovered:      %zu\n", degraded);
+  std::printf("  unrecoverable (>1 path dead):      %zu\n", lost);
+  std::printf("  single-path scheme would lose:     %zu\n", single_path_lost);
+  return 0;
+}

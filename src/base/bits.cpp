@@ -1,0 +1,3 @@
+// bits.hpp is header-only; this translation unit exists so the helpers get
+// compiled (and warned about) even if no other TU includes them yet.
+#include "base/bits.hpp"

@@ -1,0 +1,82 @@
+// Bit-manipulation helpers used throughout the library.
+//
+// Hypercube addresses are bit strings, hypercube edges flip single bits, and
+// the paper's constructions constantly split addresses into bit fields
+// (Theorem 1's row/position/block fields, Section 5's windows).  These
+// helpers keep that bit surgery readable at the call sites.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "base/error.hpp"
+#include "base/types.hpp"
+
+namespace hyperpath {
+
+/// 2^k as a 64-bit value.  Checked: k must be < 63.
+inline std::uint64_t pow2(int k) {
+  HP_CHECK(k >= 0 && k < 63, "pow2 exponent out of range");
+  return std::uint64_t{1} << k;
+}
+
+/// The single-bit mask for dimension d.
+inline Node bit(Dim d) { return Node{1} << d; }
+
+/// Tests bit d of address v.
+inline bool test_bit(Node v, Dim d) { return (v >> d) & 1u; }
+
+/// Flips bit d of address v: the neighbor of v across dimension d in Q_n.
+inline Node flip_bit(Node v, Dim d) { return v ^ bit(d); }
+
+/// Number of set bits.
+inline int popcount(Node v) { return std::popcount(v); }
+
+/// floor(log2(v)) for v >= 1.
+inline int floor_log2(std::uint64_t v) {
+  HP_CHECK(v >= 1, "floor_log2 of zero");
+  return 63 - std::countl_zero(v);
+}
+
+/// ceil(log2(v)) for v >= 1.  ceil_log2(1) == 0.
+inline int ceil_log2(std::uint64_t v) {
+  HP_CHECK(v >= 1, "ceil_log2 of zero");
+  return (v == 1) ? 0 : floor_log2(v - 1) + 1;
+}
+
+/// True iff v is a power of two (v >= 1).
+inline bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Number of trailing zero bits (v must be nonzero).
+inline int count_trailing_zeros(std::uint64_t v) {
+  HP_CHECK(v != 0, "ctz of zero");
+  return std::countr_zero(v);
+}
+
+/// Extracts `width` bits of v starting at bit `lo` (little-endian fields).
+inline Node bit_field(Node v, int lo, int width) {
+  HP_CHECK(lo >= 0 && width >= 0 && lo + width <= 32, "bad bit field");
+  if (width == 0) return 0;
+  return (v >> lo) & ((width == 32) ? ~Node{0} : (bit(width) - 1));
+}
+
+/// Reverses the low `width` bits of v (higher bits must be zero).
+inline Node bit_reverse(Node v, int width) {
+  HP_CHECK(width >= 0 && width <= 32, "bad reverse width");
+  HP_CHECK(width == 32 || (v >> width) == 0, "value wider than field");
+  Node r = 0;
+  for (int i = 0; i < width; ++i) {
+    if ((v >> i) & 1u) r |= Node{1} << (width - 1 - i);
+  }
+  return r;
+}
+
+/// Replaces `width` bits of v starting at bit `lo` with `value`.
+inline Node set_bit_field(Node v, int lo, int width, Node value) {
+  HP_CHECK(lo >= 0 && width >= 0 && lo + width <= 32, "bad bit field");
+  if (width == 0) return v;
+  const Node mask = ((width == 32) ? ~Node{0} : (bit(width) - 1)) << lo;
+  return (v & ~mask) | ((value << lo) & mask);
+}
+
+}  // namespace hyperpath

@@ -1,0 +1,15 @@
+#include "base/error.hpp"
+
+#include <sstream>
+
+namespace hyperpath::detail {
+
+void throw_check_failure(const char* cond, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "hyperpath check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace hyperpath::detail

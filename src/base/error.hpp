@@ -1,0 +1,39 @@
+// Error handling for the hyperpath library.
+//
+// Public API functions validate their inputs and report violations by
+// throwing `hyperpath::Error` (a std::runtime_error) with a message that
+// names the failing condition and its source location.  Internal invariant
+// checks that guard construction correctness (e.g. "these w paths must be
+// edge-disjoint") use the same mechanism so that a bug in a construction can
+// never silently produce an invalid embedding.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hyperpath {
+
+/// Exception type thrown on contract violations and failed verifications.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* cond, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace hyperpath
+
+/// Checks a condition that must hold for the library to be correct; throws
+/// hyperpath::Error with context on failure.  Always enabled (not tied to
+/// NDEBUG): embeddings are cheap to verify relative to simulating them, and
+/// a wrong embedding invalidates every downstream measurement.
+#define HP_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::hyperpath::detail::throw_check_failure(#cond, __FILE__, __LINE__,    \
+                                               (msg));                       \
+    }                                                                        \
+  } while (0)

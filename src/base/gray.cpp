@@ -1,0 +1,55 @@
+#include "base/gray.hpp"
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+std::vector<Dim> gray_transitions_open(int k) {
+  HP_CHECK(k >= 1 && k <= 30, "gray code order out of range");
+  // G'_1 = (0); G'_{i+1} = G'_i ∘ i ∘ G'_i.
+  std::vector<Dim> seq{0};
+  for (int i = 1; i < k; ++i) {
+    const std::size_t len = seq.size();
+    seq.push_back(i);
+    for (std::size_t j = 0; j < len; ++j) seq.push_back(seq[j]);
+  }
+  return seq;
+}
+
+std::vector<Dim> gray_transitions_closed(int k) {
+  std::vector<Dim> seq = gray_transitions_open(k);
+  seq.push_back(k - 1);
+  return seq;
+}
+
+Dim gray_transition_at(int k, std::uint64_t i) {
+  HP_CHECK(k >= 1 && k <= 30, "gray code order out of range");
+  HP_CHECK(i < pow2(k), "gray transition index out of range");
+  if (i == pow2(k) - 1) return k - 1;
+  return count_trailing_zeros(i + 1);
+}
+
+Node gray_node_at(int k, std::uint64_t i) {
+  HP_CHECK(k >= 1 && k <= 30, "gray code order out of range");
+  HP_CHECK(i < pow2(k), "gray node index out of range");
+  return static_cast<Node>(i ^ (i >> 1));
+}
+
+std::vector<Node> gray_cycle_nodes(int k) {
+  const std::uint64_t size = pow2(k);
+  std::vector<Node> nodes(size);
+  for (std::uint64_t i = 0; i < size; ++i) nodes[i] = gray_node_at(k, i);
+  return nodes;
+}
+
+std::uint64_t gray_rank(int k, Node v) {
+  HP_CHECK(k >= 1 && k <= 30, "gray code order out of range");
+  HP_CHECK(v < pow2(k), "node outside Q_k");
+  // Invert g(i) = i ^ (i >> 1) by prefix-xor.
+  std::uint64_t i = v;
+  for (int shift = 1; shift < k; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+}  // namespace hyperpath

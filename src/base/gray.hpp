@@ -1,0 +1,46 @@
+// Binary reflected Gray codes (Section 3 of Greenberg & Bhatt).
+//
+// The paper defines the *transition sequence* G'_k recursively:
+//
+//     G'_1 = 0           G'_{i+1} = G'_i ∘ i ∘ G'_i        (∘ = concatenation)
+//
+// and the *closed* sequence G_k = G'_k ∘ (k-1), of length 2^k.  Starting from
+// node 0^k and flipping, at step i, the dimension G_k(i), one traverses the
+// Hamiltonian cycle H_k of the hypercube Q_k:
+//
+//     H_k(0) = 0,   H_k(i+1) = H_k(i) XOR 2^{G_k(i)}.
+//
+// Equivalently H_k(i) = i ^ (i >> 1) (the classical Gray code value) and
+// G_k(i) = ctz(i+1) for i < 2^k - 1, G_k(2^k - 1) = k - 1.  Both forms are
+// provided; tests cross-check them against the recursive definition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace hyperpath {
+
+/// The transition sequence G'_k (length 2^k - 1), per the paper's recursion.
+/// Element i is the hypercube dimension flipped by step i of the Gray walk.
+std::vector<Dim> gray_transitions_open(int k);
+
+/// The closed transition sequence G_k = G'_k ∘ (k-1), length 2^k.  Following
+/// all 2^k transitions from any start node returns to that node.
+std::vector<Dim> gray_transitions_closed(int k);
+
+/// G_k(i) in O(1): ctz(i+1) for i < 2^k - 1, and k-1 for the closing step.
+Dim gray_transition_at(int k, std::uint64_t i);
+
+/// H_k(i): the i-th node of the Gray-code Hamiltonian cycle of Q_k,
+/// H_k(i) = i ^ (i >> 1).
+Node gray_node_at(int k, std::uint64_t i);
+
+/// The full node sequence H_k(0..2^k-1).
+std::vector<Node> gray_cycle_nodes(int k);
+
+/// Inverse of gray_node_at: the rank i with H_k(i) == v.
+std::uint64_t gray_rank(int k, Node v);
+
+}  // namespace hyperpath

@@ -1,0 +1,22 @@
+#include "base/moment.hpp"
+
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+Node moment(Node v) {
+  Node m = 0;
+  while (v != 0) {
+    const int i = __builtin_ctz(v);
+    m ^= static_cast<Node>(i);
+    v &= v - 1;  // clear lowest set bit
+  }
+  return m;
+}
+
+Node moment_mod(Node v, Node m) {
+  HP_CHECK(m >= 1, "moment modulus must be positive");
+  return moment(v) % m;
+}
+
+}  // namespace hyperpath

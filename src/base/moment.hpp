@@ -1,0 +1,32 @@
+// Moments of hypercube nodes (Definition 1 / Lemma 2 of Greenberg & Bhatt).
+//
+// The moment of an n-bit address v is the XOR, over every set bit position i
+// of v, of the ⌈log n⌉-bit binary representation b(i) of i:
+//
+//     M(0) = 0,    M(v) = ⊕_{i : v_i = 1} b(i).
+//
+// Lemma 2: all n hypercube neighbors of a node have pairwise distinct
+// moments, because flipping bit i changes the moment by exactly b(i).  This
+// single property drives every multiple-path construction in the paper: a
+// node's neighbors can be assigned distinct "special cycles" (indexed by
+// moment), which is what makes the projected length-3 detour paths
+// edge-disjoint.
+#pragma once
+
+#include "base/types.hpp"
+
+namespace hyperpath {
+
+/// M(v): XOR of the positions of the set bits of v.
+/// The result fits in ceil_log2(n) bits when v has n bit positions.
+Node moment(Node v);
+
+/// The moment reduced modulo m — the paper selects "directed cycle number
+/// M(x)" among m available cycles; when the moment range (a power of two)
+/// exceeds m we reduce it.  Neighbor-distinctness is preserved as long as
+/// the moment range does not exceed m, which holds in every construction
+/// where it matters (the theorems arrange ceil_log2 ranges to line up); the
+/// callers that rely on distinctness re-verify it structurally.
+Node moment_mod(Node v, Node m);
+
+}  // namespace hyperpath

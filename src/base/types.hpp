@@ -1,0 +1,23 @@
+// Core scalar types shared across the hyperpath library.
+//
+// Hypercube nodes are addressed by their n-bit labels; we support hypercubes
+// up to 30 dimensions, so a 32-bit node id always suffices.  Dimensions are
+// small non-negative integers; we use `int` for arithmetic convenience and
+// validate ranges at API boundaries.
+#pragma once
+
+#include <cstdint>
+
+namespace hyperpath {
+
+/// A vertex label.  For the hypercube Q_n this is the n-bit address of the
+/// node; for generic guest graphs it is a dense index in [0, |V|).
+using Node = std::uint32_t;
+
+/// A hypercube dimension index in [0, n).
+using Dim = int;
+
+/// Invalid/absent node sentinel.
+inline constexpr Node kNoNode = 0xFFFFFFFFu;
+
+}  // namespace hyperpath

@@ -1,0 +1,177 @@
+#include "ccc/netmaps.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+GraphEmbedding butterfly_into_ccc(int n) {
+  HP_CHECK(n >= 2, "butterfly_into_ccc needs n >= 2");
+  const LevelColumnLayout lay = butterfly_layout(n);
+  GraphEmbedding emb(butterfly_directed(n), ccc_directed(n));
+
+  std::vector<Node> eta(emb.guest().num_nodes());
+  for (Node v = 0; v < eta.size(); ++v) eta[v] = v;  // identity layout
+  emb.set_node_map(std::move(eta));
+
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const Edge& ge = emb.guest().edge(e);
+    const int l = lay.level_of(ge.from);
+    const Node c_from = lay.column_of(ge.from);
+    const Node c_to = lay.column_of(ge.to);
+    if (c_from == c_to) {
+      // Straight butterfly edge → straight CCC edge.
+      emb.set_path(e, {ge.from, ge.to});
+    } else {
+      // Cross butterfly edge ⟨ℓ,c⟩ → ⟨ℓ+1, c⊕2^ℓ⟩ → CCC cross then straight.
+      emb.set_path(e, {ge.from, lay.id(l, c_to), ge.to});
+    }
+  }
+  return emb;
+}
+
+GraphEmbedding butterfly_into_ccc_symmetric(int n) {
+  HP_CHECK(n >= 3, "butterfly_into_ccc_symmetric needs n >= 3");
+  const LevelColumnLayout lay = butterfly_layout(n);
+  GraphEmbedding emb(butterfly_symmetric(n), ccc_symmetric(n));
+
+  std::vector<Node> eta(emb.guest().num_nodes());
+  for (Node v = 0; v < eta.size(); ++v) eta[v] = v;  // identity layout
+  emb.set_node_map(std::move(eta));
+
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const Edge& ge = emb.guest().edge(e);
+    const int l_from = lay.level_of(ge.from);
+    const int l_to = lay.level_of(ge.to);
+    const Node c_from = lay.column_of(ge.from);
+    const Node c_to = lay.column_of(ge.to);
+    const bool up = (l_to == (l_from + 1) % n);
+    if (c_from == c_to) {
+      // Straight edge, either direction: a single CCC straight edge.
+      emb.set_path(e, {ge.from, ge.to});
+    } else if (up) {
+      // Up-cross ⟨ℓ,c⟩ → ⟨ℓ+1, c⊕2^ℓ⟩: cross at ℓ then straight up.
+      emb.set_path(e, {ge.from, lay.id(l_from, c_to), ge.to});
+    } else {
+      // Down-cross ⟨ℓ+1, c⟩ → ⟨ℓ, c⊕2^ℓ⟩: straight down then cross at ℓ.
+      emb.set_path(e, {ge.from, lay.id(l_to, c_from), ge.to});
+    }
+  }
+  return emb;
+}
+
+GraphEmbedding fft_into_ccc(int n) {
+  HP_CHECK(n >= 2, "fft_into_ccc needs n >= 2");
+  const LevelColumnLayout fft_lay = fft_layout(n);
+  const LevelColumnLayout ccc_lay = ccc_layout(n);
+  GraphEmbedding emb(fft_directed(n), ccc_directed(n));
+
+  std::vector<Node> eta(emb.guest().num_nodes());
+  for (Node v = 0; v < eta.size(); ++v) {
+    eta[v] = ccc_lay.id(fft_lay.level_of(v) % n, fft_lay.column_of(v));
+  }
+  emb.set_node_map(std::move(eta));
+
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const Edge& ge = emb.guest().edge(e);
+    const int l = fft_lay.level_of(ge.from);  // < n by construction
+    const Node c_from = fft_lay.column_of(ge.from);
+    const Node c_to = fft_lay.column_of(ge.to);
+    const Node host_from = emb.host_of(ge.from);
+    const Node host_to = emb.host_of(ge.to);
+    if (c_from == c_to) {
+      emb.set_path(e, {host_from, host_to});
+    } else {
+      emb.set_path(e, {host_from, ccc_lay.id(l, c_to), host_to});
+    }
+  }
+  return emb;
+}
+
+GraphEmbedding cbt_into_butterfly(int m) {
+  HP_CHECK(m >= 3, "cbt_into_butterfly needs m >= 3");
+  const LevelColumnLayout lay = butterfly_layout(m);
+  GraphEmbedding emb(complete_binary_tree(m), butterfly_symmetric(m));
+
+  // Heap node 2^d − 1 + j (depth d, offset j < 2^d) ↦ butterfly
+  // ⟨d, reverse_d(j)⟩: descending left keeps the column (straight edge),
+  // descending right at depth d adds 2^d (cross edge), so the column is the
+  // root path read LSB-first — the bit-reversed heap offset.
+  const Node n_tree = emb.guest().num_nodes();
+  std::vector<Node> eta(n_tree);
+  for (int d = 0; d < m; ++d) {
+    for (Node j = 0; j < pow2(d); ++j) {
+      eta[static_cast<Node>(pow2(d) - 1 + j)] = lay.id(d, bit_reverse(j, d));
+    }
+  }
+  emb.set_node_map(std::move(eta));
+
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const Edge& ge = emb.guest().edge(e);
+    // Every CBT edge maps to the single butterfly edge between the images:
+    // child ⟨d+1, j⟩ is the straight neighbor, child ⟨d+1, j + 2^d⟩ the
+    // cross neighbor, and the symmetric butterfly has both directions.
+    emb.set_path(e, {emb.host_of(ge.from), emb.host_of(ge.to)});
+  }
+  return emb;
+}
+
+GraphEmbedding tree_into_cbt(const Digraph& tree,
+                             const std::vector<Node>& parent, int levels) {
+  const Node n_tree = tree.num_nodes();
+  HP_CHECK(parent.size() == n_tree, "parent array size mismatch");
+  HP_CHECK(levels >= 1 && levels <= 28, "CBT levels out of range");
+  const Node capacity = static_cast<Node>(pow2(levels) - 1);
+  HP_CHECK(n_tree <= capacity, "tree larger than target CBT");
+
+  GraphEmbedding emb(tree, complete_binary_tree(levels));
+
+  // BFS order of the guest tree from its root (node 0) mapped onto the heap
+  // (BFS) order of the CBT.  Load 1 by construction.
+  std::vector<Node> bfs;
+  bfs.reserve(n_tree);
+  std::queue<Node> q;
+  q.push(0);
+  std::vector<bool> seen(n_tree, false);
+  seen[0] = true;
+  while (!q.empty()) {
+    const Node v = q.front();
+    q.pop();
+    bfs.push_back(v);
+    for (Node w : tree.out_neighbors(v)) {
+      if (!seen[w] && parent[w] == v) {
+        seen[w] = true;
+        q.push(w);
+      }
+    }
+  }
+  HP_CHECK(bfs.size() == n_tree, "tree is not connected from node 0");
+
+  std::vector<Node> eta(n_tree);
+  for (Node i = 0; i < n_tree; ++i) eta[bfs[i]] = i;
+  emb.set_node_map(std::move(eta));
+
+  // Route each guest edge along the unique CBT tree path through the LCA.
+  auto cbt_path = [](Node a, Node b) {
+    std::vector<Node> up{a}, down{b};
+    while (up.back() != down.back()) {
+      if (up.back() > down.back()) {
+        up.push_back((up.back() - 1) / 2);
+      } else {
+        down.push_back((down.back() - 1) / 2);
+      }
+    }
+    up.insert(up.end(), down.rbegin() + 1, down.rend());
+    return up;
+  };
+  for (std::size_t e = 0; e < tree.num_edges(); ++e) {
+    const Edge& ge = tree.edge(e);
+    emb.set_path(e, cbt_path(emb.host_of(ge.from), emb.host_of(ge.to)));
+  }
+  return emb;
+}
+
+}  // namespace hyperpath

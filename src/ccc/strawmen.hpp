@@ -1,0 +1,29 @@
+// The naive multiple-copy constructions Section 5.3 rules out, implemented
+// so the ablation bench can measure exactly the congestion blow-ups the
+// paper predicts.
+//
+//   * Same windows for every copy: all n embeddings map straight-edges to
+//     the same r dimensions → congestion ≥ n/r there.
+//   * Distinct pairwise-disjoint windows (one per copy; only ⌊(n+r)/r⌋
+//     copies fit): for any dimension d outside every window there is a
+//     hypercube node to which *every* copy maps a CCC vertex whose
+//     cross-edge uses d → congestion n_copies on dimension d.
+//
+// Both return verified KCopyEmbeddings (they are *valid* embeddings — just
+// bad ones), so the measured congestion is the honest comparison against
+// Theorem 3's overlapping windows.
+#pragma once
+
+#include "ccc/ccc_embed.hpp"
+
+namespace hyperpath {
+
+/// §5.3 straw man A: n copies, all using the canonical single-copy spec.
+KCopyEmbedding ccc_multicopy_same_windows(int n);
+
+/// §5.3 straw man B: pairwise-disjoint length-r windows, as many copies as
+/// fit (⌊(n+r)/r⌋).  Copy i's window is dimensions {i·r, …, i·r + r − 1};
+/// its long window is the rest in ascending order.
+KCopyEmbedding ccc_multicopy_disjoint_windows(int n);
+
+}  // namespace hyperpath

@@ -1,0 +1,64 @@
+#include "ccc/windows.hpp"
+
+#include <algorithm>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+Node signature(Node v, const Window& w) {
+  Node sig = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (test_bit(v, w[i])) sig |= bit(static_cast<Dim>(i));
+  }
+  return sig;
+}
+
+Node apply_signature(Node v, const Window& w, Node sig) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (test_bit(sig, static_cast<Dim>(i))) {
+      v |= bit(w[i]);
+    } else {
+      v &= ~bit(w[i]);
+    }
+  }
+  return v;
+}
+
+Node prefix_bits(Node k, int i, int r) {
+  HP_CHECK(i >= 0 && i <= r && r <= 30, "prefix parameters out of range");
+  HP_CHECK(k < pow2(r), "number wider than r bits");
+  return k >> (r - i);
+}
+
+int common_prefix_len(Node a, Node b, int r) {
+  HP_CHECK(a < pow2(r) && b < pow2(r), "number wider than r bits");
+  for (int len = r; len >= 1; --len) {
+    if (prefix_bits(a, len, r) == prefix_bits(b, len, r)) return len;
+  }
+  return 0;
+}
+
+int common_prefix_len_lsb(Node a, Node b, int r) {
+  HP_CHECK(a < pow2(r) && b < pow2(r), "number wider than r bits");
+  int len = 0;
+  while (len < r && test_bit(a, len) == test_bit(b, len)) ++len;
+  return len;
+}
+
+int common_prefix_len(const Window& a, const Window& b) {
+  const std::size_t m = std::min(a.size(), b.size());
+  std::size_t len = 0;
+  while (len < m && a[len] == b[len]) ++len;
+  return static_cast<int>(len);
+}
+
+bool windows_disjoint(const Window& a, const Window& b) {
+  for (Dim x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace hyperpath

@@ -1,0 +1,44 @@
+// Windows, signatures, and prefix tools (Section 5.1 definitions).
+//
+//   * A window W is an ordered subset of the dimensions of Q_k.
+//   * The signature σ_W(v) packs the address bits of v at the dimensions
+//     listed by W: bit i of σ_W(v) equals bit W(i) of v.
+//   * ρ_i(a) is the length-i prefix of a sequence; for an r-bit number we
+//     read bits most-significant first, so ρ_i(k) = k >> (r − i).
+//   * λ(a, b) is the length of the longest common prefix.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace hyperpath {
+
+using Window = std::vector<Dim>;
+
+/// σ_W(v): bit i of the result is bit W[i] of v.
+Node signature(Node v, const Window& w);
+
+/// Writes `sig` into the window positions of `v`: bit W[i] of the result is
+/// bit i of sig; all other bits of v are preserved.  Inverse of signature()
+/// on the window bits.
+Node apply_signature(Node v, const Window& w, Node sig);
+
+/// ρ_i(k) for an r-bit number read MSB-first: the top i bits, k >> (r − i).
+Node prefix_bits(Node k, int i, int r);
+
+/// λ(a, b) over r-bit numbers read MSB-first: the number of leading bits on
+/// which a and b agree (r if a == b).
+int common_prefix_len(Node a, Node b, int r);
+
+/// λ over signature values stored position-first: position i lives in bit i,
+/// so the "prefix" is read from bit 0 upward.
+int common_prefix_len_lsb(Node a, Node b, int r);
+
+/// λ over windows (sequences of dimensions).
+int common_prefix_len(const Window& a, const Window& b);
+
+/// True iff the windows share no dimension.
+bool windows_disjoint(const Window& a, const Window& b);
+
+}  // namespace hyperpath

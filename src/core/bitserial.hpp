@@ -1,0 +1,73 @@
+// Section 7: bit-serial (wormhole) message routing on the hypercube.
+//
+// For permutations of M-packet messages:
+//
+//   * store-and-forward on e-cube routes queues whole messages: with high
+//     congestion a message waits Θ(M) per queue, so completion is Θ(nM);
+//   * the multiple-copy CCC embedding (Theorem 3) lets each message be
+//     split into n pieces of M/n flits, piece k wormhole-routed through
+//     copy k of the CCC — copies are edge-disjoint up to the factor-2
+//     congestion, so completion drops to O(M) (the paper's headline claim);
+//   * the width-n X(butterfly) embedding routes in two phases (row
+//     butterfly, then column butterfly — end of Section 7).
+//
+// We implement the CCC-split router in full (route computation on the CCC,
+// host paths through Theorem 3's copies, wormhole execution), plus the
+// store-and-forward and single-copy wormhole baselines the benches compare.
+#pragma once
+
+#include "ccc/ccc_embed.hpp"
+#include "sim/wormhole.hpp"
+#include "sim/workloads.hpp"
+
+namespace hyperpath {
+
+/// A route on the n-stage CCC from vertex `src` to vertex `dst` (vertex ids
+/// in ccc_layout(n)): ascend levels, fixing column bit ℓ with a cross edge
+/// at level ℓ, then continue to the destination level.  Length ≤ 2n + n.
+std::vector<Node> ccc_route(int n, Node src, Node dst);
+
+/// The CCC-split router of Section 7: host node v sends an M-flit message
+/// to pattern[v]; the message splits into one piece per CCC copy, piece k
+/// wormhole-routed between the copy-k CCC vertices of source and
+/// destination.  Returns the worms (ready for WormholeSim on
+/// emb.host().dims()).
+std::vector<Worm> ccc_split_worms(const KCopyEmbedding& emb,
+                                  const Pattern& pattern, int total_flits);
+
+/// Baseline: the same permutation as whole messages on e-cube routes.
+std::vector<Worm> ecube_worms(int dims, const Pattern& pattern,
+                              int total_flits);
+
+/// Baseline: whole messages wormhole-routed through a single CCC copy.
+std::vector<Worm> ccc_single_copy_worms(const KCopyEmbedding& emb, int copy,
+                                        const Pattern& pattern,
+                                        int total_flits);
+
+// ---------------------------------------------------------------------------
+// Two-phase routing on X(butterfly) — the closing scheme of Section 7
+// ---------------------------------------------------------------------------
+
+/// A greedy route on the m-stage wrapped butterfly: sweep the levels once,
+/// fixing column bit ℓ with a cross edge at level ℓ, then continue straight
+/// to the destination level.  Vertex ids per butterfly_layout(m).
+std::vector<Node> butterfly_route(int m, Node src, Node dst);
+
+/// The two-phase route between X(butterfly) vertices ⟨i1,j1⟩ → ⟨i2,j2⟩:
+/// along row i1's butterfly to ⟨i1, j2⟩, then along column j2's butterfly
+/// to the destination.  Returns the path as a sequence of X node ids.
+/// `copies` are the butterfly copies the transform was built from; m their
+/// stage count.
+std::vector<Node> x_two_phase_route(int m, const KCopyEmbedding& copies,
+                                    Node src, Node dst);
+
+/// Wormhole workload for a (partial) permutation of X nodes: each message
+/// takes its two-phase X route and is split across the width-n bundles —
+/// piece k expands every X hop through bundle path k (loop-erased).
+/// `pattern[v] == v` means no message.  Requires x = theorem4_transform of
+/// `copies`.
+std::vector<Worm> x_two_phase_worms(int m, const MultiPathEmbedding& x,
+                                    const KCopyEmbedding& copies,
+                                    const Pattern& pattern, int total_flits);
+
+}  // namespace hyperpath

@@ -1,0 +1,233 @@
+#include "core/cycle_multipath.hpp"
+
+#include <algorithm>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "base/gray.hpp"
+#include "base/moment.hpp"
+#include "graph/builders.hpp"
+#include "graph/euler.hpp"
+#include "hamdecomp/directed.hpp"
+
+namespace hyperpath {
+
+namespace {
+
+/// Field geometry shared by Theorems 1 and 2: n = 4k + r with address
+/// fields [row: 2k][position: 2k][block: r], block least significant.
+struct Fields {
+  int n = 0, k = 0, r = 0;
+  int col_bits = 0;  // 2k + r
+
+  explicit Fields(int n_in) : n(n_in) {
+    HP_CHECK(n >= 4, "cycle multipath constructions need n >= 4");
+    k = n / 4;
+    r = n % 4;
+    col_bits = 2 * k + r;
+    HP_CHECK(is_pow2(static_cast<std::uint64_t>(2 * k)),
+             "construction requires the column factor width 2k to be a power "
+             "of two (moments must index its 2k directed cycles exactly)");
+  }
+
+  Node column(Node v) const { return bit_field(v, 0, col_bits); }
+  Node row(Node v) const { return bit_field(v, col_bits, 2 * k); }
+  Node position(Node v) const { return bit_field(v, r, 2 * k); }
+  Node with_row(Node column_part, Node row_value) const {
+    return column_part | (row_value << col_bits);
+  }
+  bool is_row_dim(Dim d) const { return d >= col_bits; }
+};
+
+/// The detour bundle of Theorems 1/2: for guest edge (a, b) across
+/// dimension `edge_dim`, the j-th path crosses dimension detour_dims[j],
+/// follows the projected edge, and crosses back.
+std::vector<HostPath> detour_bundle(Node a, Node b, Dim edge_dim,
+                                    const std::vector<Dim>& detour_dims) {
+  std::vector<HostPath> bundle;
+  bundle.reserve(detour_dims.size());
+  for (Dim d : detour_dims) {
+    const Node a1 = flip_bit(a, d);
+    bundle.push_back({a, a1, flip_bit(a1, edge_dim), b});
+  }
+  return bundle;
+}
+
+}  // namespace
+
+bool cycle_multipath_supported(int n) {
+  if (n < 4) return false;
+  const int k = n / 4;
+  return is_pow2(static_cast<std::uint64_t>(2 * k)) && 2 * k + 3 <= 15;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1
+// ---------------------------------------------------------------------------
+
+MultiPathEmbedding theorem1_cycle_embedding(int n) {
+  const Fields f(n);
+  const DirectedCycleFamily fam(2 * f.k);
+  const std::uint64_t num_cols = pow2(f.col_bits);
+  const std::uint64_t col_size = pow2(2 * f.k);
+
+  // Gray order over columns, with the Gray code's two busiest dimensions
+  // remapped to *position* bits 0 and 1 so that each aligned 4-group of
+  // columns carries special cycles (σ, σ, σ̄, σ̄): positions x, x⊕1, x⊕3,
+  // x⊕2 have moments M, M, M⊕1, M⊕1, and cycles 2i/2i+1 are mutual
+  // reverses.  (Gray dimension g < 2k toggles column bit r+g; g ≥ 2k
+  // toggles block bit g−2k.)
+  auto column_bit_of_gray_dim = [&](Dim g) {
+    return g < 2 * f.k ? f.r + g : g - 2 * f.k;
+  };
+
+  // Walk the guest cycle C.
+  std::vector<Node> c_nodes;
+  c_nodes.reserve(pow2(n));
+  Node col = 0;
+  Node row = 0;
+  for (std::uint64_t t = 0; t < num_cols; ++t) {
+    const int cyc = static_cast<int>(moment(f.position(col)));
+    Node v = row;
+    for (std::uint64_t s = 0; s < col_size; ++s) {
+      c_nodes.push_back(f.with_row(col, v));
+      v = fam.next(cyc, v);
+    }
+    HP_CHECK(v == row, "special cycle traversal did not wrap");
+    row = fam.prev(cyc, row);  // exit row: one step short of closing
+    col = flip_bit(col, column_bit_of_gray_dim(
+                            gray_transition_at(f.col_bits, t)));
+  }
+  HP_CHECK(col == 0 && row == 0,
+           "guest cycle does not close at row 0 of column 0 (4-group "
+           "orientation pairing violated)");
+
+  MultiPathEmbedding emb(directed_cycle(static_cast<Node>(pow2(n))), n);
+  emb.set_node_map(std::move(c_nodes));
+
+  std::vector<Dim> col_detours, row_detours;
+  for (int j = 0; j < 2 * f.k; ++j) col_detours.push_back(f.r + j);
+  for (int j = 0; j < 2 * f.k; ++j) row_detours.push_back(f.col_bits + j);
+
+  const Digraph& g = emb.guest();
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& ge = g.edge(e);
+    const Node a = emb.host_of(ge.from);
+    const Node b = emb.host_of(ge.to);
+    const Dim i = count_trailing_zeros(a ^ b);
+    std::vector<HostPath> bundle =
+        detour_bundle(a, b, i, f.is_row_dim(i) ? col_detours : row_detours);
+    bundle.push_back({a, b});  // the direct path (the 2k+1st)
+    emb.set_paths(e, std::move(bundle));
+  }
+  emb.verify_or_throw(/*expected_width=*/2 * f.k + 1, /*expected_load=*/1);
+  return emb;
+}
+
+std::vector<Packet> theorem1_schedule_packets(const MultiPathEmbedding& emb,
+                                              int p) {
+  HP_CHECK(p >= 1, "need at least one packet per edge");
+  std::vector<Packet> packets;
+  packets.reserve(emb.guest().num_edges() * static_cast<std::size_t>(p));
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const auto bundle = emb.paths(e);
+    const std::size_t w = bundle.size();
+    // bundle layout from theorem1_cycle_embedding: detours first, direct
+    // last.  Packet 0 rides the direct path at step 1; packets 1..w−1 ride
+    // the detours; packet w goes direct again, released for step 3.
+    const std::size_t direct = w - 1;
+    for (int j = 0; j < p; ++j) {
+      Packet pk;
+      pk.tag = static_cast<std::uint32_t>(e);
+      if (j == 0) {
+        pk.route = bundle[direct];
+      } else if (static_cast<std::size_t>(j) < w) {
+        pk.route = bundle[j - 1];
+      } else if (static_cast<std::size_t>(j) == w) {
+        pk.route = bundle[direct];
+        pk.release = 2;
+      } else {
+        pk.route = bundle[j % w];  // overflow: round-robin, natural queueing
+      }
+      packets.push_back(std::move(pk));
+    }
+  }
+  return packets;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2
+// ---------------------------------------------------------------------------
+
+namespace {
+
+MultiPathEmbedding theorem2_impl(int n, bool use_moments) {
+  const Fields f(n);
+  const DirectedCycleFamily col_fam(2 * f.k);
+  const DirectedCycleFamily row_fam(f.col_bits);
+  HP_CHECK(row_fam.num_cycles() >= 2 * f.k,
+           "row factor must offer at least 2k directed cycles");
+
+  const std::uint64_t n_nodes = pow2(n);
+
+  // The spanning 2-in/2-out digraph: each node's column special edge (cycle
+  // M(position) of its Q_{2k} column subcube, moving through row bits) and
+  // row special edge (cycle M(row) of its Q_{2k+r} row subcube, moving
+  // through the low bits).  The naive ablation pins both selections to
+  // cycle 0 — see theorem2_cycle_embedding_naive.
+  EdgeList special{static_cast<Node>(n_nodes), {}};
+  special.edges.reserve(2 * n_nodes);
+  for (Node v = 0; v < n_nodes; ++v) {
+    const int ccyc =
+        use_moments ? static_cast<int>(moment(f.position(v))) : 0;
+    const Node next_row = col_fam.next(ccyc, f.row(v));
+    special.edges.emplace_back(v, f.with_row(f.column(v), next_row));
+
+    const int rcyc = use_moments ? static_cast<int>(moment(f.row(v))) : 0;
+    const Node next_low = row_fam.next(rcyc, f.column(v));
+    special.edges.emplace_back(v, f.with_row(next_low, f.row(v)));
+  }
+
+  const std::vector<Node> tour = eulerian_circuit(special, 0);
+  HP_CHECK(tour.size() == 2 * n_nodes + 1, "Eulerian tour has wrong length");
+
+  MultiPathEmbedding emb(directed_cycle(static_cast<Node>(2 * n_nodes)), n);
+  {
+    std::vector<Node> eta(tour.begin(), tour.end() - 1);
+    emb.set_node_map(std::move(eta));
+  }
+
+  std::vector<Dim> col_detours, row_detours;
+  for (int j = 0; j < 2 * f.k; ++j) col_detours.push_back(f.r + j);
+  for (int j = 0; j < 2 * f.k; ++j) row_detours.push_back(f.col_bits + j);
+
+  const Digraph& g = emb.guest();
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& ge = g.edge(e);
+    const Node a = emb.host_of(ge.from);
+    const Node b = emb.host_of(ge.to);
+    const Dim i = count_trailing_zeros(a ^ b);
+    // Column special edges flip row dimensions and detour through position
+    // neighbors; row special edges flip low dimensions and detour through
+    // row neighbors.  No direct path exists (Theorem 2's proof): each
+    // family's direct edges are consumed by the other family's first and
+    // last edges.
+    emb.set_paths(e, detour_bundle(a, b, i,
+                                   f.is_row_dim(i) ? col_detours
+                                                   : row_detours));
+  }
+  emb.verify_or_throw(/*expected_width=*/2 * f.k, /*expected_load=*/2);
+  return emb;
+}
+
+}  // namespace
+
+MultiPathEmbedding theorem2_cycle_embedding(int n) {
+  return theorem2_impl(n, /*use_moments=*/true);
+}
+
+MultiPathEmbedding theorem2_cycle_embedding_naive(int n) {
+  return theorem2_impl(n, /*use_moments=*/false);
+}
+
+}  // namespace hyperpath

@@ -1,0 +1,74 @@
+// Multiple-path embeddings of cycles (Section 4, Theorems 1 and 2).
+//
+// Theorem 1: the 2^n-node directed cycle embeds in Q_n with load 1 and
+// width ⌊n/2⌋ (in fact 2k+1 paths per edge where n = 4k+r), with
+// ⌊n/2⌋-packet cost 3.
+//
+// Construction (following the proof exactly):
+//   * addresses split into fields  [row: 2k][position: 2k][block: r]  (block
+//     least significant);
+//   * every column (low 2k+r bits) selects the *special* directed
+//     Hamiltonian cycle number M(position) from the Lemma-1 family of its
+//     Q_{2k} column subcube;
+//   * the guest cycle C takes 2^{2k}−1 consecutive special-cycle edges per
+//     column and hops to the next column in a Gray-code column order chosen
+//     so that each aligned group of four consecutive columns carries
+//     cycles (σ, σ, σ̄, σ̄) — which is what returns C to row 0 (the Gray
+//     dimensions are remapped so its two busiest dimensions toggle
+//     *position* bits 0 and 1: moment shifts b(0) = 0 and b(1) = 1);
+//   * each special edge (dimension i, a row dimension) is replaced by the
+//     direct edge plus 2k length-3 paths u → u⊕2^{r+j} → ⊕2^i → v that
+//     detour through the 2k neighboring columns of u's block — edge-disjoint
+//     because those neighbors' moments are pairwise distinct (Lemma 2);
+//   * row edges are widened symmetrically, detouring through neighbor rows.
+//
+// Theorem 2: the 2^{n+1}-node directed cycle embeds with load 2 and width
+// w(n), w(n)-packet cost 3, where w(n) = 2k for n = 4k+r.  Every node lies
+// on one *column* special cycle (cycle M(position) of its Q_{2k} column
+// subcube) and one *row* special cycle (cycle M(row) of its Q_{2k+r} row
+// subcube); the union is a spanning 2-in/2-out digraph whose Eulerian tour
+// is the guest cycle.  Widening detours column edges through position
+// neighbors and row edges through row neighbors; no direct paths exist
+// (each family's direct edges are consumed by the other family's first/last
+// edges, as the proof notes).
+//
+// Both constructions require the column factor Q_{2k} to have 2k a power of
+// two so that moments index its 2k directed cycles exactly; the paper
+// implicitly assumes the same (its moment range is 2^{⌈log 2k⌉}).
+// Supported n: k ∈ {1, 2, 4} → n ∈ {4..11, 16..19} (larger n exceed
+// laptop-scale simulation anyway).
+#pragma once
+
+#include "embed/embedding.hpp"
+#include "sim/packet.hpp"
+
+namespace hyperpath {
+
+/// True iff theorem1/theorem2 support this n (k = ⌊n/4⌋ must be a power of
+/// two with 2k within the Hamiltonian-decomposition table range).
+bool cycle_multipath_supported(int n);
+
+/// Theorem 1: width-(2k+1) ⊇ width-⌊n/2⌋, load-1 embedding of the
+/// 2^n-node directed cycle into Q_n.  Verified before return.
+MultiPathEmbedding theorem1_cycle_embedding(int n);
+
+/// Theorem 2: width-2k, load-2 embedding of the 2^{n+1}-node directed cycle
+/// into Q_n.  Verified before return.
+MultiPathEmbedding theorem2_cycle_embedding(int n);
+
+/// Ablation: Theorem 2 with the moment-based special-cycle selection
+/// replaced by a constant (every column and every row uses cycle 0).  The
+/// guest cycle still exists (the Eulerian tour does not care), the bundles
+/// are still internally edge-disjoint — but Lemma 2's guarantee is gone, so
+/// all 2k neighbor projections collide on the same host edges and the
+/// measured w-packet cost degrades from 3 to Θ(k).  Exists to demonstrate
+/// that the moment labeling is what the paper's speed-up rests on.
+MultiPathEmbedding theorem2_cycle_embedding_naive(int n);
+
+/// The packets of a p-packet Theorem-1 phase with the paper's schedule: the
+/// direct path carries packets at steps 1 and 3 (release 0 and 2), the
+/// length-3 paths one packet each.  For p ≤ 2k+2 this realizes cost 3.
+std::vector<Packet> theorem1_schedule_packets(const MultiPathEmbedding& emb,
+                                              int p);
+
+}  // namespace hyperpath

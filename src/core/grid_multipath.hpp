@@ -1,0 +1,45 @@
+// Multiple-path embeddings of grids and tori (Section 4.5, Corollaries 1–2).
+//
+// Grids/tori are cross products of paths/cycles, and hypercubes are cross
+// products of hypercubes, so each grid axis is embedded by Theorem 1 into
+// its own factor subcube and the product inherits the bundles: an axis-a
+// grid edge's paths are the axis embedding's paths with every other axis's
+// address bits held fixed.
+//
+//   * Corollary 1: the k-axis grid/torus with all sides 2^a embeds in
+//     Q_{ak} with width ⌊a/2⌋ (2⌊a/4⌋+1 paths per edge) and cost 3.
+//   * Sides that are not powers of two are rounded up per axis (expansion
+//     ≤ 2 per axis, ≤ 2^k overall = the paper's k+1-ish factor).  The
+//     paper's Corollary 2 reduces this to O(1) via grid squaring [2, 18];
+//     Section 9 lists the unequal-sides case as open, and we document the
+//     rounding substitution in DESIGN.md.
+//
+// The guest is the *directed* grid graph (each axis oriented +1, the
+// orientation Theorem 1's directed cycles provide).  Bidirectional traffic
+// runs as one phase per direction — the relaxation bench does exactly that
+// — because simultaneous full-width traffic in both directions would
+// oversubscribe every node's first-edge dimensions.
+#pragma once
+
+#include "embed/embedding.hpp"
+#include "graph/builders.hpp"
+
+namespace hyperpath {
+
+/// True iff every axis of the spec is supported (its rounded-up bit width b
+/// satisfies cycle_multipath_supported(b), and the total fits Q_30).
+bool grid_multipath_supported(const GridSpec& spec);
+
+/// The multipath grid/torus embedding.  Axis sides are rounded up to powers
+/// of two internally; wrap (torus) edges require the side to be exactly a
+/// power of two.  Verified before return.
+MultiPathEmbedding grid_multipath_embedding(const GridSpec& spec);
+
+/// §8.1: multiple-copy embeddings of tori, from the Lemma-1 cycle copies
+/// combined with the cross-product decomposition — copy i uses directed
+/// Hamiltonian cycle i of every axis subcube.  min_a 2⌊b_a/2⌋ copies of
+/// the directed torus with dilation 1 and joint edge-congestion 1 on the
+/// axis dimensions.  All sides must be powers of two ≥ 4.
+KCopyEmbedding multicopy_torus(const GridSpec& spec);
+
+}  // namespace hyperpath

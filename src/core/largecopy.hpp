@@ -1,0 +1,42 @@
+// Large-copy embeddings (Section 8.1, Corollary 3, Lemma 9).
+//
+// Instead of widening paths, a large-copy embedding packs an n·2^n-node
+// guest onto Q_n with load n so that guest edges spread evenly over all
+// hypercube links — no forwarding, dilation ≤ 1:
+//
+//   * Corollary 3: the n·2^n-node directed cycle traverses the Lemma-1
+//     directed Hamiltonian cycles in sequence — every directed hypercube
+//     edge is used exactly once (even n);
+//   * Lemma 9: the n·2^n-node CCC collapses each column cycle onto its
+//     hypercube node (straight edges become internal, cross edges map to
+//     dimension edges — congestion 1); FFT and butterfly collapse the same
+//     way with congestion ≤ 2.
+#pragma once
+
+#include "embed/embedding.hpp"
+
+namespace hyperpath {
+
+/// Corollary 3: the (2⌊n/2⌋)·2^n-node directed cycle into Q_n, load
+/// 2⌊n/2⌋, dilation 1, congestion 1.  For even n this is the n·2^n-node
+/// cycle using every directed link exactly once.
+MultiPathEmbedding largecopy_directed_cycle(int n);
+
+/// Corollary 3's undirected half: the ⌊n/2⌋·2^n-node cycle that traverses
+/// each *undirected* Hamiltonian cycle of the decomposition once — every
+/// undirected hypercube link carries exactly one cycle edge (even n).
+/// Load ⌊n/2⌋, dilation 1.
+MultiPathEmbedding largecopy_undirected_cycle(int n);
+
+/// Lemma 9: the n·2^n-node directed CCC into Q_n (straight edges internal,
+/// cross edges dilation 1, congestion 1, load n).
+MultiPathEmbedding largecopy_ccc(int n);
+
+/// Lemma 9: the n-level directed wrapped butterfly into Q_n (straight edges
+/// internal, cross edges dilation 1, load n).
+MultiPathEmbedding largecopy_butterfly(int n);
+
+/// Lemma 9: the (n+1)-level FFT graph into Q_n (load n+1).
+MultiPathEmbedding largecopy_fft(int n);
+
+}  // namespace hyperpath

@@ -1,0 +1,35 @@
+#include "core/lower_bounds.hpp"
+
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+int lemma3_min_dilation(int width) {
+  HP_CHECK(width >= 1, "width must be positive");
+  if (width == 1) return 1;
+  // Two or more edge-disjoint paths between adjacent nodes: at most one can
+  // be the direct edge; every other path has odd length >= 3 (Q_n is
+  // bipartite).  Lemma 3 states the w > 2 case; adjacency makes it hold
+  // from w = 2 already.
+  return 3;
+}
+
+int lemma3_max_cost3_packets(int n) {
+  HP_CHECK(n >= 1, "dimension must be positive");
+  return n / 2;
+}
+
+std::int64_t edge_slot_slack(const MultiPathEmbedding& emb, int cost) {
+  HP_CHECK(cost >= 1, "cost must be positive");
+  std::int64_t used = 0;
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    for (const HostPath& p : emb.paths(e)) {
+      used += static_cast<std::int64_t>(p.size()) - 1;
+    }
+  }
+  const std::int64_t available =
+      static_cast<std::int64_t>(emb.host().num_directed_edges()) * cost;
+  return available - used;
+}
+
+}  // namespace hyperpath

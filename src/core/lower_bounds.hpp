@@ -1,0 +1,34 @@
+// Lemma 3 (Section 4.4): limits on width and cost.
+//
+//   (a) Any width-w embedding with w > 2 has dilation ≥ 3 (two distinct
+//       hypercube nodes admit at most 2 edge-disjoint paths of length ≤ 2,
+//       and bipartiteness forces odd/even path-length parity).
+//   (b) No p-packet-cost-3 embedding of the 2^{n+1}-node cycle in Q_n has
+//       p > ⌊n/2⌋: counting edge slots, 2^{n+1}·(w−1)·3 path-edges must fit
+//       in 3·n·2^n available directed-edge slots.
+//
+// These are *checkable* bounds: the audit functions below recompute the
+// counting argument on concrete embeddings, so benches can show the
+// Theorem 1/2 constructions sit at the bound.
+#pragma once
+
+#include "embed/embedding.hpp"
+
+namespace hyperpath {
+
+/// Minimum possible dilation of any width-w embedding (Lemma 3a):
+/// 1 for w = 1, 3 for w ≥ 2 between *adjacent* images (the direct edge plus
+/// any second edge-disjoint path, which must have odd length ≥ 3; the
+/// paper states the w > 2 case).
+int lemma3_min_dilation(int width);
+
+/// The largest p for which a p-packet cost-3 embedding of the 2^{n+1}-node
+/// cycle in Q_n can exist (Lemma 3b): ⌊n/2⌋.
+int lemma3_max_cost3_packets(int n);
+
+/// The counting-argument audit: total path-edges used by the embedding
+/// must not exceed cost · (number of directed host edges).  Returns the
+/// slack (available − used); negative would disprove the claimed cost.
+std::int64_t edge_slot_slack(const MultiPathEmbedding& emb, int cost);
+
+}  // namespace hyperpath

@@ -1,0 +1,114 @@
+#include "core/transform.hpp"
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "base/moment.hpp"
+#include "graph/products.hpp"
+
+namespace hyperpath {
+
+MultiPathEmbedding theorem4_transform(const KCopyEmbedding& copies) {
+  const int n = copies.host().dims();
+  const Node big = copies.guest().num_nodes();
+  HP_CHECK(n >= 1 && n <= 14, "transform host dimension out of range");
+  HP_CHECK(big == static_cast<Node>(pow2(n)),
+           "Theorem 4 needs a guest with exactly 2^n vertices");
+  HP_CHECK(copies.num_copies() == n, "Theorem 4 needs exactly n copies");
+
+  // Automorphisms φ_k from the copies' node maps.
+  std::vector<std::vector<Node>> automorphs(n);
+  for (int k = 0; k < n; ++k) {
+    const auto span = copies.node_map(k);
+    automorphs[k].assign(span.begin(), span.end());
+  }
+
+  const Digraph x = induced_cross_product(copies.guest(), n, automorphs);
+  MultiPathEmbedding emb(x, 2 * n);
+
+  // Vertex ⟨i, j⟩ ↦ (i << n) | j: the identity on the product structure.
+  {
+    std::vector<Node> eta(x.num_nodes());
+    for (Node v = 0; v < x.num_nodes(); ++v) eta[v] = v;
+    emb.set_node_map(std::move(eta));
+  }
+
+  // Bundles.  We re-enumerate X(G)'s edges exactly as the product was
+  // built, looking each up in the digraph to attach its bundle.
+  const auto bundle_for_row_edge = [&](Node i, const HostPath& copy_path) {
+    // Path lives in the low n bits; detours flip high bits n + k.
+    std::vector<HostPath> bundle;
+    bundle.reserve(n);
+    const Node row_base = i << n;
+    for (int k = 0; k < n; ++k) {
+      const Node detour_base = (i ^ bit(k)) << n;
+      HostPath p;
+      p.reserve(copy_path.size() + 2);
+      p.push_back(row_base | copy_path.front());
+      for (Node hop : copy_path) p.push_back(detour_base | hop);
+      p.push_back(row_base | copy_path.back());
+      bundle.push_back(std::move(p));
+    }
+    return bundle;
+  };
+  const auto bundle_for_col_edge = [&](Node j, const HostPath& copy_path) {
+    // Path lives in the high n bits; detours flip low bits k.
+    std::vector<HostPath> bundle;
+    bundle.reserve(n);
+    for (int k = 0; k < n; ++k) {
+      const Node detour_col = j ^ bit(k);
+      HostPath p;
+      p.reserve(copy_path.size() + 2);
+      p.push_back((copy_path.front() << n) | j);
+      for (Node hop : copy_path) p.push_back((hop << n) | detour_col);
+      p.push_back((copy_path.back() << n) | j);
+      bundle.push_back(std::move(p));
+    }
+    return bundle;
+  };
+
+  const Digraph& g = copies.guest();
+  for (Node line = 0; line < big; ++line) {
+    const int k = static_cast<int>(moment(line) % static_cast<Node>(n));
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      const HostPath& p = copies.path(k, e);
+      // Row `line`: X edge from ⟨line, p.front()⟩ to ⟨line, p.back()⟩.
+      {
+        const std::size_t xe = x.find_edge((line << n) | p.front(),
+                                           (line << n) | p.back());
+        HP_CHECK(xe != static_cast<std::size_t>(-1),
+                 "row edge missing from X(G)");
+        emb.set_paths(xe, bundle_for_row_edge(line, p));
+      }
+      // Column `line`: X edge from ⟨p.front(), line⟩ to ⟨p.back(), line⟩.
+      {
+        const std::size_t xe = x.find_edge((p.front() << n) | line,
+                                           (p.back() << n) | line);
+        HP_CHECK(xe != static_cast<std::size_t>(-1),
+                 "column edge missing from X(G)");
+        emb.set_paths(xe, bundle_for_col_edge(line, p));
+      }
+    }
+  }
+
+  emb.verify_or_throw(/*expected_width=*/n, /*expected_load=*/1);
+  return emb;
+}
+
+KCopyEmbedding repeat_copies(const KCopyEmbedding& emb, int target) {
+  HP_CHECK(emb.num_copies() >= 1, "need at least one copy to repeat");
+  HP_CHECK(target >= emb.num_copies(), "target below current copy count");
+  KCopyEmbedding out(emb.guest(), emb.host().dims());
+  for (int k = 0; k < target; ++k) {
+    const int src = k % emb.num_copies();
+    const auto span = emb.node_map(src);
+    std::vector<Node> eta(span.begin(), span.end());
+    std::vector<HostPath> paths(emb.guest().num_edges());
+    for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+      paths[e] = emb.path(src, e);
+    }
+    out.add_copy(std::move(eta), std::move(paths));
+  }
+  return out;
+}
+
+}  // namespace hyperpath

@@ -1,0 +1,37 @@
+// Theorem 4 (Section 6): the general multiple-copy → multiple-path
+// transform.
+//
+// Given an n-copy embedding of a graph G with 2^n vertices into Q_n (copy k
+// is the automorphism φ_k, i.e. a one-to-one node map, plus one host path
+// per guest edge), the transform produces a width-n embedding of the
+// *induced cross product* X(G) into Q_{2n}:
+//
+//   * X(G)'s vertex ⟨i, j⟩ is hypercube node (i << n) | j;
+//   * row i and column i both carry the automorph G_{φ_{M(i)}};
+//   * a row edge whose copy-path is x_0 … x_L gets, for every column
+//     dimension k < n, the path that crosses 2^{n+k} into row i ⊕ 2^k,
+//     follows the projected copy path, and crosses back — the n detour rows
+//     carry the n *distinct* copies M(i) ⊕ b(k) (Lemma 2), which makes the
+//     middle segments exactly one n-copy embedding per row;
+//   * column edges are treated symmetrically.
+//
+// If the multiple-copy embedding has cost c and G has max out-degree δ, the
+// n-packet cost of the result is c + 2δ (measured by the benches).
+#pragma once
+
+#include "embed/embedding.hpp"
+
+namespace hyperpath {
+
+/// Applies Theorem 4.  `copies` must hold exactly n = host dims copies of a
+/// guest with 2^n vertices, each one-to-one.  The result is a width-n
+/// embedding of X(G) into Q_{2n}, verified before return.
+MultiPathEmbedding theorem4_transform(const KCopyEmbedding& copies);
+
+/// Pads a multiple-copy embedding to exactly `target` copies by repeating
+/// existing copies round-robin (Theorem 5 does this to turn m butterfly
+/// copies into m + log m; the repeats at most double the congestion of the
+/// repeated copies).
+KCopyEmbedding repeat_copies(const KCopyEmbedding& emb, int target);
+
+}  // namespace hyperpath

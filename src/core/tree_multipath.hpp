@@ -1,0 +1,56 @@
+// Theorem 5 and Section 6.2: multiple-path embeddings of trees.
+//
+// Pipeline (for m a power of two, n = m + log m):
+//
+//   1. Theorem 3 embeds m copies of the m-stage CCC into Q_n; composing
+//      with the butterfly → CCC embedding (§5.4) yields m one-to-one copies
+//      of the m-stage butterfly (m·2^m = 2^n vertices) with O(1) cost;
+//      repeat_copies pads them to n copies.
+//   2. Theorem 4 turns the n-copy embedding into a width-n embedding of the
+//      induced cross product X(butterfly) into Q_{2n}.
+//   3. The 2m-level complete binary tree embeds into X with dilation 1 and
+//      O(1) load, exactly as Theorem 5's proof lays out: the top m levels
+//      follow the natural CBT subtree of the row-0 butterfly; each level-
+//      (m−1) vertex doubles as the root of an m-level CBT in its *column's*
+//      butterfly; each column-tree leaf finally gets two children across
+//      its row butterfly's straight and cross edges.
+//   4. Composing 3 with 2 gives the width-n, O(1)-cost embedding of the
+//      CBT into Q_{2n}.
+//
+// (We build the CBT on the natural spanning subtrees rather than the dense
+// packing of reference [4]; see DESIGN.md §1.3 — the width/cost claims are
+// preserved, the constant-factor node utilization is not.)
+//
+// §6.2: an arbitrary binary tree is first embedded in the CBT (heuristic,
+// load 1 — see ccc/netmaps.hpp) and then composed with the Theorem 5
+// embedding, giving a width-n embedding whose cost scales with the
+// tree → CBT dilation/congestion.
+#pragma once
+
+#include "embed/embedding.hpp"
+#include "embed/graph_embedding.hpp"
+
+namespace hyperpath {
+
+/// The n-copy butterfly embedding of step 1 (exposed for tests/benches):
+/// n = m + log m copies of the m-stage butterfly in Q_n.
+KCopyEmbedding butterfly_multicopy_embedding(int m);
+
+/// Step 3 alone: the 2m-level CBT into X(butterfly) with dilation 1.
+/// `xguest` must be the guest of theorem4_transform(butterfly copies);
+/// `copies` the same copies passed to the transform.
+GraphEmbedding cbt_into_x_butterfly(int m, const Digraph& xguest,
+                                    const KCopyEmbedding& copies);
+
+/// Theorem 5: the (2^{2m} − 1)-node CBT into Q_{2(m+log m)} with width
+/// m + log m, O(1) load, verified.  m must be a power of two ≥ 4 (the
+/// symmetric CCC underneath degenerates at m = 2); m = 4 → Q_12 host.
+MultiPathEmbedding theorem5_cbt_embedding(int m);
+
+/// §6.2: an arbitrary binary tree (rooted at node 0 with the given parent
+/// array, at most 2^{2m}−1 nodes) through the CBT into Q_{2(m+log m)}.
+MultiPathEmbedding arbitrary_tree_multipath(const Digraph& tree,
+                                            const std::vector<Node>& parent,
+                                            int m);
+
+}  // namespace hyperpath

@@ -1,0 +1,38 @@
+// Classical (width-1) embeddings and the Lemma-1 multiple-copy cycles.
+//
+// These are the baselines the paper's constructions are measured against:
+//
+//   * the binary reflected Gray-code embedding of the directed cycle
+//     (Figure 1) — dilation 1, congestion 1, but it cannot use idle links:
+//     with m packets per node it needs ≥ m/2 steps (Section 2);
+//   * the cross-product Gray-code embedding of k-axis grids/tori with
+//     power-of-two sides — the "traditional gray code method" of Section 2;
+//   * the spanning binomial tree (Ho–Johnsson [14]) used for broadcasts;
+//   * the multiple-copy embedding of directed cycles from Lemma 1.
+#pragma once
+
+#include "embed/embedding.hpp"
+#include "graph/builders.hpp"
+
+namespace hyperpath {
+
+/// Figure 1: the 2^n-node directed cycle embedded along the Gray-code
+/// Hamiltonian cycle of Q_n.  Width 1, dilation 1, congestion 1, load 1.
+MultiPathEmbedding gray_code_cycle_embedding(int n);
+
+/// The classical cross-product Gray-code embedding of a k-axis grid or torus
+/// whose sides are all powers of two.  Axis a with side 2^{b_a} occupies its
+/// own field of b_a address bits; every grid edge maps to a single hypercube
+/// edge (dilation 1).  Torus wrap edges rely on the Gray cycle closing.
+MultiPathEmbedding gray_code_grid_embedding(const GridSpec& spec);
+
+/// The spanning binomial tree of Q_n as an embedding of its own tree graph:
+/// node v's parent is v with its highest set bit cleared.  Returns the
+/// embedding of the symmetric tree (both directions), dilation 1.
+MultiPathEmbedding spanning_binomial_tree_embedding(int n);
+
+/// Lemma 1: 2⌊n/2⌋ copies of the 2^n-node directed cycle in Q_n, dilation 1,
+/// total edge-congestion 1.  (n copies for even n, n−1 for odd.)
+KCopyEmbedding multicopy_directed_cycles(int n);
+
+}  // namespace hyperpath

@@ -1,0 +1,181 @@
+#include "embed/embedding.hpp"
+
+#include <algorithm>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+// ---------------------------------------------------------------------------
+// MultiPathEmbedding
+// ---------------------------------------------------------------------------
+
+MultiPathEmbedding::MultiPathEmbedding(Digraph guest, int host_dims)
+    : guest_(std::move(guest)), host_(host_dims) {
+  eta_.assign(guest_.num_nodes(), kNoNode);
+  bundles_.assign(guest_.num_edges(), {});
+}
+
+void MultiPathEmbedding::set_node_map(std::vector<Node> eta) {
+  HP_CHECK(eta.size() == guest_.num_nodes(), "node map size mismatch");
+  eta_ = std::move(eta);
+}
+
+void MultiPathEmbedding::set_paths(std::size_t edge_id,
+                                   std::vector<HostPath> bundle) {
+  HP_CHECK(edge_id < bundles_.size(), "edge id out of range");
+  HP_CHECK(!bundle.empty(), "bundle must contain at least one path");
+  bundles_[edge_id] = std::move(bundle);
+}
+
+int MultiPathEmbedding::load() const {
+  std::vector<std::uint32_t> count(host_.num_nodes(), 0);
+  std::uint32_t mx = 0;
+  for (Node h : eta_) {
+    HP_CHECK(h != kNoNode, "node map not fully set");
+    mx = std::max(mx, ++count[h]);
+  }
+  return static_cast<int>(mx);
+}
+
+int MultiPathEmbedding::dilation() const {
+  std::size_t mx = 0;
+  for (const auto& bundle : bundles_) {
+    for (const HostPath& p : bundle) mx = std::max(mx, p.size() - 1);
+  }
+  return static_cast<int>(mx);
+}
+
+int MultiPathEmbedding::width() const {
+  std::size_t mn = SIZE_MAX;
+  for (const auto& bundle : bundles_) mn = std::min(mn, bundle.size());
+  return bundles_.empty() ? 0 : static_cast<int>(mn);
+}
+
+std::vector<std::uint32_t> MultiPathEmbedding::congestion_per_link() const {
+  std::vector<std::uint32_t> cong(host_.num_directed_edges(), 0);
+  for (const auto& bundle : bundles_) {
+    for (const HostPath& p : bundle) {
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        ++cong[host_.edge_id(p[i], p[i + 1])];
+      }
+    }
+  }
+  return cong;
+}
+
+int MultiPathEmbedding::congestion() const {
+  const auto cong = congestion_per_link();
+  return cong.empty() ? 0
+                      : static_cast<int>(*std::max_element(cong.begin(),
+                                                           cong.end()));
+}
+
+double MultiPathEmbedding::expansion() const {
+  const std::uint64_t need = pow2(ceil_log2(guest_.num_nodes()));
+  return static_cast<double>(host_.num_nodes()) / static_cast<double>(need);
+}
+
+void MultiPathEmbedding::verify_or_throw(int expected_width,
+                                         int expected_load) const {
+  // Node map range + load.
+  for (Node h : eta_) {
+    HP_CHECK(h != kNoNode && host_.contains(h), "node map entry invalid");
+  }
+  const int observed_load = load();
+  if (expected_load >= 0) {
+    HP_CHECK(observed_load <= expected_load, "load exceeds expected bound");
+  } else {
+    // Paper default: one-to-one when the guest fits, otherwise balanced
+    // many-to-one with load ⌈|V(G)|/|V(H)|⌉.
+    const std::uint64_t vg = guest_.num_nodes();
+    const std::uint64_t vh = host_.num_nodes();
+    const std::uint64_t bound = (vg + vh - 1) / vh;
+    HP_CHECK(static_cast<std::uint64_t>(observed_load) <= std::max<std::uint64_t>(bound, 1),
+             "load exceeds ceil(|V|/|W|)");
+  }
+
+  // Paths.
+  for (std::size_t e = 0; e < guest_.num_edges(); ++e) {
+    const Edge& ge = guest_.edge(e);
+    const auto& bundle = bundles_[e];
+    HP_CHECK(!bundle.empty(), "guest edge has no image path");
+    for (const HostPath& p : bundle) {
+      HP_CHECK(is_valid_path(host_, p), "image path is not a hypercube walk");
+      HP_CHECK(p.front() == eta_[ge.from], "path does not start at η(u)");
+      HP_CHECK(p.back() == eta_[ge.to], "path does not end at η(v)");
+    }
+    HP_CHECK(paths_edge_disjoint(host_, bundle),
+             "bundle paths are not edge-disjoint");
+  }
+
+  if (expected_width >= 0) {
+    HP_CHECK(width() == expected_width, "width differs from expected");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KCopyEmbedding
+// ---------------------------------------------------------------------------
+
+KCopyEmbedding::KCopyEmbedding(Digraph guest, int host_dims)
+    : guest_(std::move(guest)), host_(host_dims) {}
+
+void KCopyEmbedding::add_copy(std::vector<Node> eta,
+                              std::vector<HostPath> paths) {
+  HP_CHECK(eta.size() == guest_.num_nodes(), "copy node map size mismatch");
+  HP_CHECK(paths.size() == guest_.num_edges(), "copy path count mismatch");
+  copies_.push_back(Copy{std::move(eta), std::move(paths)});
+}
+
+int KCopyEmbedding::dilation() const {
+  std::size_t mx = 0;
+  for (const Copy& c : copies_) {
+    for (const HostPath& p : c.paths) mx = std::max(mx, p.size() - 1);
+  }
+  return static_cast<int>(mx);
+}
+
+std::vector<std::uint32_t> KCopyEmbedding::congestion_per_link() const {
+  std::vector<std::uint32_t> cong(host_.num_directed_edges(), 0);
+  for (const Copy& c : copies_) {
+    for (const HostPath& p : c.paths) {
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        ++cong[host_.edge_id(p[i], p[i + 1])];
+      }
+    }
+  }
+  return cong;
+}
+
+int KCopyEmbedding::edge_congestion() const {
+  const auto cong = congestion_per_link();
+  return cong.empty() ? 0
+                      : static_cast<int>(*std::max_element(cong.begin(),
+                                                           cong.end()));
+}
+
+void KCopyEmbedding::verify_or_throw(int expected_congestion) const {
+  for (const Copy& c : copies_) {
+    std::vector<bool> hit(host_.num_nodes(), false);
+    for (Node h : c.eta) {
+      HP_CHECK(host_.contains(h), "copy node map entry invalid");
+      HP_CHECK(!hit[h], "copy node map is not one-to-one");
+      hit[h] = true;
+    }
+    for (std::size_t e = 0; e < guest_.num_edges(); ++e) {
+      const Edge& ge = guest_.edge(e);
+      const HostPath& p = c.paths[e];
+      HP_CHECK(is_valid_path(host_, p), "copy path is not a hypercube walk");
+      HP_CHECK(p.front() == c.eta[ge.from], "copy path start mismatch");
+      HP_CHECK(p.back() == c.eta[ge.to], "copy path end mismatch");
+    }
+  }
+  if (expected_congestion >= 0) {
+    HP_CHECK(edge_congestion() <= expected_congestion,
+             "edge-congestion exceeds expected bound");
+  }
+}
+
+}  // namespace hyperpath

@@ -1,0 +1,130 @@
+// The embedding framework of Section 3.
+//
+// An embedding of a guest graph G into the host hypercube H = Q_n is a node
+// map η : V(G) → V(H) together with a map μ assigning each guest edge (u, v)
+// to one or more paths in H from η(u) to η(v).
+//
+//   * load       — max number of guest vertices on one host vertex
+//   * dilation   — max path length over all assigned paths
+//   * congestion — max over host *directed* edges of the number of guest
+//                  edges one of whose image paths uses it
+//   * width      — min number of pairwise edge-disjoint paths per guest edge
+//                  (a "width-w embedding" has w such paths for every edge)
+//   * expansion  — |V(H)| / (smallest power of two ≥ |V(G)|)
+//
+// MultiPathEmbedding stores the full structure and re-derives every metric;
+// verify_or_throw() re-checks the paper's structural requirements so that a
+// construction bug can never silently flow into a measurement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/types.hpp"
+#include "graph/digraph.hpp"
+#include "graph/hypercube.hpp"
+
+namespace hyperpath {
+
+/// A multiple-path embedding of a guest digraph into Q_host_dims.
+/// A width-1 instance is an ordinary (single-path) embedding.
+class MultiPathEmbedding {
+ public:
+  MultiPathEmbedding(Digraph guest, int host_dims);
+
+  const Digraph& guest() const { return guest_; }
+  const Hypercube& host() const { return host_; }
+
+  /// Sets η.  eta.size() must equal guest().num_nodes().
+  void set_node_map(std::vector<Node> eta);
+
+  Node host_of(Node guest_node) const { return eta_[guest_node]; }
+  std::span<const Node> node_map() const { return eta_; }
+
+  /// Assigns the path bundle of guest edge `edge_id` (id in guest().edges()).
+  void set_paths(std::size_t edge_id, std::vector<HostPath> bundle);
+
+  std::span<const HostPath> paths(std::size_t edge_id) const {
+    return bundles_[edge_id];
+  }
+
+  // --- metrics (computed on demand; all O(total path length)) -------------
+
+  int load() const;
+  int dilation() const;
+
+  /// Minimum bundle size over guest edges — the embedding's width.
+  int width() const;
+
+  /// Congestion per host directed edge, indexed by Hypercube::edge_id.
+  std::vector<std::uint32_t> congestion_per_link() const;
+
+  int congestion() const;
+
+  /// |V(H)| divided by the smallest power of two at least |V(G)|.
+  double expansion() const;
+
+  // --- verification --------------------------------------------------------
+
+  /// Structural checks: η in range with load ≤ ⌈|V(G)|/|V(H)|⌉ only when
+  /// |V(G)| > |V(H)| (otherwise η must be one-to-one... see note), every
+  /// guest edge has ≥1 path, every path is a valid hypercube walk from
+  /// η(u) to η(v), and each bundle is pairwise edge-disjoint.
+  /// If expected_width ≥ 0, also checks width() == expected_width.
+  /// If expected_load ≥ 0, checks load() ≤ expected_load; otherwise applies
+  /// the paper's default (one-to-one when the guest fits).
+  void verify_or_throw(int expected_width = -1, int expected_load = -1) const;
+
+ private:
+  Digraph guest_;
+  Hypercube host_;
+  std::vector<Node> eta_;
+  std::vector<std::vector<HostPath>> bundles_;
+};
+
+/// A k-copy embedding (Section 3): k one-to-one node maps of the same guest
+/// into Q_n, each edge mapped to a single path per copy.  The congestion of
+/// a host edge is summed over all copies.
+class KCopyEmbedding {
+ public:
+  KCopyEmbedding(Digraph guest, int host_dims);
+
+  const Digraph& guest() const { return guest_; }
+  const Hypercube& host() const { return host_; }
+  int num_copies() const { return static_cast<int>(copies_.size()); }
+
+  /// Appends a copy: a one-to-one node map plus one path per guest edge
+  /// (paths[e] corresponds to guest().edge(e)).
+  void add_copy(std::vector<Node> eta, std::vector<HostPath> paths);
+
+  Node host_of(int copy, Node guest_node) const {
+    return copies_[copy].eta[guest_node];
+  }
+  std::span<const Node> node_map(int copy) const { return copies_[copy].eta; }
+  const HostPath& path(int copy, std::size_t edge_id) const {
+    return copies_[copy].paths[edge_id];
+  }
+
+  int dilation() const;
+
+  /// Edge-congestion summed across copies, per host directed edge.
+  std::vector<std::uint32_t> congestion_per_link() const;
+  int edge_congestion() const;
+
+  /// Checks: every copy's η is one-to-one, every path valid with correct
+  /// endpoints.  If expected_congestion ≥ 0, also checks
+  /// edge_congestion() ≤ expected_congestion.
+  void verify_or_throw(int expected_congestion = -1) const;
+
+ private:
+  struct Copy {
+    std::vector<Node> eta;
+    std::vector<HostPath> paths;
+  };
+  Digraph guest_;
+  Hypercube host_;
+  std::vector<Copy> copies_;
+};
+
+}  // namespace hyperpath

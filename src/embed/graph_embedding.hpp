@@ -1,0 +1,67 @@
+// Embeddings whose host is an arbitrary digraph (not necessarily Q_n).
+//
+// Section 5.4 and Theorem 5 build embeddings by *composition*: the CBT
+// embeds in the butterfly, the butterfly in the CCC, the CCC in the
+// hypercube — and metrics compose multiplicatively (dilation) /
+// multiplicatively-bounded (congestion).  GraphEmbedding is the common
+// representation: a node map plus one host path per guest edge.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace hyperpath {
+
+class GraphEmbedding {
+ public:
+  GraphEmbedding(Digraph guest, Digraph host);
+
+  const Digraph& guest() const { return guest_; }
+  const Digraph& host() const { return host_; }
+
+  void set_node_map(std::vector<Node> eta);
+  Node host_of(Node guest_node) const { return eta_[guest_node]; }
+  std::span<const Node> node_map() const { return eta_; }
+
+  /// Sets the host path (node sequence) of guest edge `edge_id`.
+  void set_path(std::size_t edge_id, std::vector<Node> path);
+  const std::vector<Node>& path(std::size_t edge_id) const {
+    return paths_[edge_id];
+  }
+
+  int load() const;
+  int dilation() const;
+  /// Congestion per host edge (indexed by host edge id) and its maximum.
+  std::vector<std::uint32_t> congestion_per_edge() const;
+  int congestion() const;
+
+  /// Checks: η in range, every path a valid host walk from η(u) to η(v).
+  /// Optional bounds are verified when >= 0.
+  void verify_or_throw(int max_dilation = -1, int max_congestion = -1,
+                       int max_load = -1) const;
+
+ private:
+  Digraph guest_;
+  Digraph host_;
+  std::vector<Node> eta_;
+  std::vector<std::vector<Node>> paths_;
+};
+
+/// Composes two single-path embeddings: inner embeds A into B, outer embeds
+/// B into C; the result embeds A into C (η = η_outer ∘ η_inner; each inner
+/// path is expanded hop by hop through the outer paths).
+GraphEmbedding compose(const GraphEmbedding& outer, const GraphEmbedding& inner);
+
+class MultiPathEmbedding;
+
+/// Composes a single-path embedding of A into a graph X with a width-w
+/// multipath embedding of X into Q_n: the k-th path of an A edge chains the
+/// k-th bundle paths of its X hops.  Width is preserved; the result is
+/// verified before return.
+MultiPathEmbedding compose_multipath(const MultiPathEmbedding& outer,
+                                     const GraphEmbedding& inner);
+
+}  // namespace hyperpath

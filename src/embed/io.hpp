@@ -1,0 +1,34 @@
+// Serialization of embeddings to a simple line-oriented text format.
+//
+// Constructing the larger embeddings (Theorem 1 at Q_16, Theorem 5) takes
+// real time; a deployment can compute them once, ship the file, and load it
+// with full re-verification.  The format is versioned and entirely
+// self-describing:
+//
+//   hyperpath-multipath v1
+//   host <dims>
+//   guest <nodes> <edges>
+//   edge <from> <to>                       × edges   (guest digraph)
+//   eta <v0> <v1> …                                  (node map)
+//   bundle <edge-id> <path-count>
+//   path <len> <n0> <n1> …                 × path-count, per bundle
+//
+// load_multipath() re-runs verify_or_throw(), so a corrupted or hand-edited
+// file cannot produce a structurally invalid embedding.
+#pragma once
+
+#include <iosfwd>
+
+#include "embed/embedding.hpp"
+
+namespace hyperpath {
+
+/// Writes the embedding to `os`.
+void save_multipath(std::ostream& os, const MultiPathEmbedding& emb);
+
+/// Reads an embedding from `is` and verifies it (with the given load bound;
+/// -1 applies the default one-to-one rule).  Throws hyperpath::Error on any
+/// malformed input.
+MultiPathEmbedding load_multipath(std::istream& is, int expected_load = -1);
+
+}  // namespace hyperpath

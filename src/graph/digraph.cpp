@@ -1,0 +1,97 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+void DigraphBuilder::add_edge(Node u, Node v) {
+  edges_.push_back(Edge{u, v});
+}
+
+void DigraphBuilder::add_undirected(Node u, Node v) {
+  add_edge(u, v);
+  add_edge(v, u);
+}
+
+Digraph DigraphBuilder::build() && {
+  Digraph g;
+  g.num_nodes_ = num_nodes_;
+  g.edges_ = std::move(edges_);
+
+  std::sort(g.edges_.begin(), g.edges_.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+
+  g.row_start_.assign(num_nodes_ + 1, 0);
+  g.in_degree_.assign(num_nodes_, 0);
+  for (std::size_t e = 0; e < g.edges_.size(); ++e) {
+    const Edge& ed = g.edges_[e];
+    HP_CHECK(ed.from < num_nodes_ && ed.to < num_nodes_,
+             "edge endpoint out of range");
+    HP_CHECK(ed.from != ed.to, "self-loop");
+    if (e > 0) {
+      HP_CHECK(!(g.edges_[e - 1] == ed), "duplicate directed edge");
+    }
+    ++g.row_start_[ed.from + 1];
+    ++g.in_degree_[ed.to];
+  }
+  for (Node u = 0; u < num_nodes_; ++u) {
+    g.row_start_[u + 1] += g.row_start_[u];
+  }
+  return g;
+}
+
+std::vector<Node> Digraph::out_neighbors(Node u) const {
+  std::vector<Node> out;
+  out.reserve(out_degree(u));
+  for (std::uint32_t e = row_start_[u]; e < row_start_[u + 1]; ++e) {
+    out.push_back(edges_[e].to);
+  }
+  return out;
+}
+
+std::size_t Digraph::out_degree(Node u) const {
+  return row_start_[u + 1] - row_start_[u];
+}
+
+std::size_t Digraph::max_out_degree() const {
+  std::size_t d = 0;
+  for (Node u = 0; u < num_nodes_; ++u) d = std::max(d, out_degree(u));
+  return d;
+}
+
+std::size_t Digraph::find_edge(Node u, Node v) const {
+  const auto begin = edges_.begin() + row_start_[u];
+  const auto end = edges_.begin() + row_start_[u + 1];
+  const auto it = std::lower_bound(
+      begin, end, v, [](const Edge& e, Node t) { return e.to < t; });
+  if (it == end || it->to != v) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+bool operator==(const Digraph& a, const Digraph& b) {
+  return a.num_nodes_ == b.num_nodes_ && a.edges_ == b.edges_;
+}
+
+Digraph relabel(const Digraph& g, std::span<const Node> phi) {
+  HP_CHECK(phi.size() == g.num_nodes(), "relabel permutation size mismatch");
+  HP_CHECK(is_permutation(phi, g.num_nodes()), "relabel map not a permutation");
+  DigraphBuilder b(g.num_nodes());
+  for (const Edge& e : g.edges()) b.add_edge(phi[e.from], phi[e.to]);
+  return std::move(b).build();
+}
+
+bool is_permutation(std::span<const Node> phi, Node n) {
+  if (phi.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (Node v : phi) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace hyperpath

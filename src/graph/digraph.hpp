@@ -1,0 +1,110 @@
+// A compact immutable directed graph.
+//
+// Guest graphs in the paper (cycles, grids, CCCs, butterflies, trees) are
+// small relative to the host hypercube, but we still store them in CSR form:
+// the simulator walks adjacency constantly, and edge ids double as indices
+// into per-edge path bundles and congestion counters.
+//
+// Nodes are dense indices in [0, num_nodes()).  Edges are directed; an
+// undirected guest edge is represented by two directed edges (the paper's
+// communication model is directed: "each processor can send one message
+// packet over each outgoing link").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace hyperpath {
+
+/// A directed edge (from, to).
+struct Edge {
+  Node from = 0;
+  Node to = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Digraph;
+
+/// Accumulates edges, then freezes into a Digraph.
+class DigraphBuilder {
+ public:
+  explicit DigraphBuilder(Node num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds the directed edge (u, v).  Self-loops and duplicates are rejected
+  /// at build() time.
+  void add_edge(Node u, Node v);
+
+  /// Adds both (u, v) and (v, u).
+  void add_undirected(Node u, Node v);
+
+  Node num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Freezes into an immutable Digraph.  Verifies node ranges, rejects
+  /// self-loops and duplicate directed edges.
+  Digraph build() &&;
+
+ private:
+  Node num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// Immutable CSR digraph.  Edge ids are stable: edge e is edges()[e], and
+/// out_edge_ids(u) lists the ids of u's outgoing edges (sorted by head).
+class Digraph {
+ public:
+  Digraph() = default;
+
+  Node num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Edge& edge(std::size_t e) const { return edges_[e]; }
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Half-open id range [first, last) of u's outgoing edges.  Because edges
+  /// are sorted by (from, to), a node's out-edges have consecutive ids.
+  std::pair<std::uint32_t, std::uint32_t> out_edge_range(Node u) const {
+    return {row_start_[u], row_start_[u + 1]};
+  }
+
+  /// Targets of u's outgoing edges, sorted.
+  std::vector<Node> out_neighbors(Node u) const;
+
+  std::size_t out_degree(Node u) const;
+  std::size_t in_degree(Node u) const { return in_degree_[u]; }
+
+  /// Maximum out-degree over all nodes (the paper's δ in Theorem 4).
+  std::size_t max_out_degree() const;
+
+  /// The edge id of (u, v), or SIZE_MAX if absent.  O(log deg).
+  std::size_t find_edge(Node u, Node v) const;
+
+  bool has_edge(Node u, Node v) const {
+    return find_edge(u, v) != static_cast<std::size_t>(-1);
+  }
+
+  /// Structural equality in the paper's Section 6 sense: same vertex set and
+  /// exactly the same edge set (isomorphic under the identity map).
+  friend bool operator==(const Digraph& a, const Digraph& b);
+
+ private:
+  friend class DigraphBuilder;
+
+  Node num_nodes_ = 0;
+  std::vector<Edge> edges_;                 // sorted by (from, to)
+  std::vector<std::uint32_t> row_start_;    // CSR offsets, size num_nodes_+1
+  std::vector<std::uint32_t> in_degree_;
+};
+
+/// Relabels the vertices of g by the permutation phi: edge (u,v) becomes
+/// (phi[u], phi[v]).  This is the paper's G_φ (Section 6).
+Digraph relabel(const Digraph& g, std::span<const Node> phi);
+
+/// True iff phi is a permutation of [0, n).
+bool is_permutation(std::span<const Node> phi, Node n);
+
+}  // namespace hyperpath

@@ -1,0 +1,111 @@
+#include "graph/euler.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+namespace {
+
+struct Adjacency {
+  // CSR of out-edge ids per node.
+  std::vector<std::uint32_t> row_start;
+  std::vector<std::uint32_t> edge_ids;
+
+  explicit Adjacency(const EdgeList& g) {
+    row_start.assign(g.num_nodes + 1, 0);
+    for (const auto& [u, v] : g.edges) {
+      HP_CHECK(u < g.num_nodes && v < g.num_nodes, "edge out of range");
+      ++row_start[u + 1];
+    }
+    for (Node u = 0; u < g.num_nodes; ++u) row_start[u + 1] += row_start[u];
+    edge_ids.resize(g.edges.size());
+    std::vector<std::uint32_t> fill(row_start.begin(), row_start.end() - 1);
+    for (std::uint32_t e = 0; e < g.edges.size(); ++e) {
+      edge_ids[fill[g.edges[e].first]++] = e;
+    }
+  }
+};
+
+}  // namespace
+
+bool has_eulerian_circuit(const EdgeList& g) {
+  std::vector<std::int64_t> balance(g.num_nodes, 0);
+  std::vector<Node> touched;
+  for (const auto& [u, v] : g.edges) {
+    ++balance[u];
+    --balance[v];
+    touched.push_back(u);
+  }
+  for (Node u = 0; u < g.num_nodes; ++u) {
+    if (balance[u] != 0) return false;
+  }
+  if (g.edges.empty()) return true;
+
+  // Connectivity of the edge support via undirected DFS over the edge list.
+  Adjacency out(g);
+  // Build reverse adjacency as well so the undirected walk can go both ways.
+  EdgeList rev{g.num_nodes, {}};
+  rev.edges.reserve(g.edges.size());
+  for (const auto& [u, v] : g.edges) rev.edges.emplace_back(v, u);
+  Adjacency in(rev);
+
+  std::vector<bool> seen(g.num_nodes, false);
+  std::vector<Node> stack{g.edges.front().first};
+  seen[stack.front()] = true;
+  while (!stack.empty()) {
+    const Node u = stack.back();
+    stack.pop_back();
+    for (std::uint32_t i = out.row_start[u]; i < out.row_start[u + 1]; ++i) {
+      const Node v = g.edges[out.edge_ids[i]].second;
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+    for (std::uint32_t i = in.row_start[u]; i < in.row_start[u + 1]; ++i) {
+      const Node v = rev.edges[in.edge_ids[i]].second;
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  for (const auto& [u, v] : g.edges) {
+    if (!seen[u] || !seen[v]) return false;
+  }
+  return true;
+}
+
+std::vector<Node> eulerian_circuit(const EdgeList& g, Node start) {
+  HP_CHECK(has_eulerian_circuit(g), "graph has no Eulerian circuit");
+  HP_CHECK(!g.edges.empty(), "empty graph has no circuit");
+
+  Adjacency adj(g);
+  std::vector<std::uint32_t> next(adj.row_start.begin(),
+                                  adj.row_start.end() - 1);
+  HP_CHECK(next[start] < adj.row_start[start + 1], "start has no out-edge");
+
+  // Hierholzer: walk until stuck (back at a node with no unused out-edge),
+  // recording the circuit in reverse on unwind.
+  std::vector<Node> circuit;
+  circuit.reserve(g.edges.size() + 1);
+  std::vector<Node> stack{start};
+  while (!stack.empty()) {
+    const Node u = stack.back();
+    if (next[u] < adj.row_start[u + 1]) {
+      const std::uint32_t e = adj.edge_ids[next[u]++];
+      stack.push_back(g.edges[e].second);
+    } else {
+      circuit.push_back(u);
+      stack.pop_back();
+    }
+  }
+  std::reverse(circuit.begin(), circuit.end());
+  HP_CHECK(circuit.size() == g.edges.size() + 1,
+           "Eulerian walk did not use every edge");
+  return circuit;
+}
+
+}  // namespace hyperpath

@@ -1,0 +1,31 @@
+// Eulerian circuits of directed multigraphs (Hierholzer's algorithm).
+//
+// Theorem 2 forms its length-2^{n+1} guest cycle as the Eulerian tour of the
+// spanning subgraph of Q_n induced by one row special cycle and one column
+// special cycle through every node (in-degree = out-degree = 2 everywhere).
+// This module provides the tour for any edge list with balanced degrees and
+// a connected support.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace hyperpath {
+
+/// A directed edge list over nodes [0, num_nodes); parallel edges allowed.
+struct EdgeList {
+  Node num_nodes = 0;
+  std::vector<std::pair<Node, Node>> edges;
+};
+
+/// True iff every node has in-degree == out-degree and all edges lie in one
+/// connected component (ignoring isolated nodes).
+bool has_eulerian_circuit(const EdgeList& g);
+
+/// The Eulerian circuit as a node sequence of length |E| + 1 with
+/// front() == back(), starting from `start` (which must have an out-edge).
+/// Throws if no circuit exists.
+std::vector<Node> eulerian_circuit(const EdgeList& g, Node start);
+
+}  // namespace hyperpath

@@ -1,0 +1,83 @@
+#include "graph/products.hpp"
+
+#include "base/error.hpp"
+#include "base/moment.hpp"
+
+namespace hyperpath {
+
+Node product_vertex(Node g, Node h, Node h_size) {
+  return g * h_size + h;
+}
+
+Digraph cross_product(const Digraph& g, const Digraph& h) {
+  const Node ng = g.num_nodes();
+  const Node nh = h.num_nodes();
+  HP_CHECK(static_cast<std::uint64_t>(ng) * nh <= (1u << 30),
+           "product too large");
+  DigraphBuilder b(ng * nh);
+  // A copy of H in every row g0.
+  for (Node g0 = 0; g0 < ng; ++g0) {
+    for (const Edge& e : h.edges()) {
+      b.add_edge(product_vertex(g0, e.from, nh), product_vertex(g0, e.to, nh));
+    }
+  }
+  // A copy of G in every column h0.
+  for (Node h0 = 0; h0 < nh; ++h0) {
+    for (const Edge& e : g.edges()) {
+      b.add_edge(product_vertex(e.from, h0, nh), product_vertex(e.to, h0, nh));
+    }
+  }
+  return std::move(b).build();
+}
+
+Digraph generalized_cross_product(const std::vector<Digraph>& rows,
+                                  const std::vector<Digraph>& cols) {
+  const Node n = static_cast<Node>(rows.size());
+  HP_CHECK(cols.size() == n, "row/column set sizes differ");
+  HP_CHECK(n >= 1, "empty cross product");
+  for (const Digraph& g : rows) {
+    HP_CHECK(g.num_nodes() == n, "row graph vertex set is not Z_N");
+  }
+  for (const Digraph& g : cols) {
+    HP_CHECK(g.num_nodes() == n, "column graph vertex set is not Z_N");
+  }
+  HP_CHECK(static_cast<std::uint64_t>(n) * n <= (1u << 30),
+           "product too large");
+
+  DigraphBuilder b(n * n);
+  for (Node i = 0; i < n; ++i) {
+    for (const Edge& e : rows[i].edges()) {
+      b.add_edge(product_vertex(i, e.from, n), product_vertex(i, e.to, n));
+    }
+  }
+  for (Node j = 0; j < n; ++j) {
+    for (const Edge& e : cols[j].edges()) {
+      b.add_edge(product_vertex(e.from, j, n), product_vertex(e.to, j, n));
+    }
+  }
+  return std::move(b).build();
+}
+
+Digraph induced_cross_product(
+    const Digraph& g, int dims,
+    const std::vector<std::vector<Node>>& automorphs) {
+  const Node n = g.num_nodes();
+  HP_CHECK(dims >= 1 && dims <= 15, "dims out of range");
+  HP_CHECK(n == (Node{1} << dims), "G must have 2^dims vertices");
+  HP_CHECK(automorphs.size() == static_cast<std::size_t>(dims),
+           "need one automorphism per copy (dims copies)");
+  // R_i = C_i = G_{φ_{M(i)}}.  Cache one relabeling per distinct copy.
+  std::vector<Digraph> copy_graph(dims);
+  for (int k = 0; k < dims; ++k) {
+    HP_CHECK(is_permutation(automorphs[k], n), "copy map is not a permutation");
+    copy_graph[k] = relabel(g, automorphs[k]);
+  }
+  std::vector<Digraph> line(n);
+  for (Node i = 0; i < n; ++i) {
+    line[i] = copy_graph[moment(i) % static_cast<Node>(dims)];
+  }
+  std::vector<Digraph> cols = line;
+  return generalized_cross_product(line, cols);
+}
+
+}  // namespace hyperpath

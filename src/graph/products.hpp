@@ -1,0 +1,45 @@
+// Graph cross products (Section 3) and the generalized cross product of two
+// sets of graphs (Section 6).
+//
+// The standard cross (Cartesian) product G × H places a copy of H on every
+// "row" v ∈ G and a copy of G on every "column" w ∈ H.  (The paper's edge-set
+// display omits the "(w1,w2) ∈ F" condition — an obvious typo; we implement
+// the standard Cartesian product, under which Q_n × Q_m = Q_{n+m} as the
+// paper states.)
+//
+// The generalized cross product of two sets R = {R_i} and C = {C_j} of
+// graphs, each on vertex set Z_N, is the graph on Z_N × Z_N whose row i
+// induces exactly R_i and whose column j induces exactly C_j.  The paper's
+// Theorem 4 instantiates it with automorphs of a single graph selected by
+// moments: R_i = C_i = G_{φ_{M(i)}} — the *induced cross product* X(G).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "base/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace hyperpath {
+
+/// Vertex ⟨g, h⟩ of G × H gets id g·|H| + h.
+Node product_vertex(Node g, Node h, Node h_size);
+
+/// The Cartesian product G × H.
+Digraph cross_product(const Digraph& g, const Digraph& h);
+
+/// The generalized cross product of rows R and columns C (Section 6).  Every
+/// graph must have exactly N vertices where N = rows.size() = cols.size().
+/// Vertex ⟨i, j⟩ (row i, column j) gets id i·N + j.
+Digraph generalized_cross_product(const std::vector<Digraph>& rows,
+                                  const std::vector<Digraph>& cols);
+
+/// The induced cross product X(G) of Theorem 4.  G has N = 2^dims vertices
+/// and an n-copy embedding into Q_dims given by the automorphisms
+/// φ_0..φ_{dims-1} of Z_N (φ_k(j) = hypercube address of vertex j under copy
+/// k).  Row i and column i of X(G) both carry G_{φ_{M(i)}} where M is the
+/// moment function; M(i) is reduced mod dims when dims is not a power of two.
+Digraph induced_cross_product(const Digraph& g, int dims,
+                              const std::vector<std::vector<Node>>& automorphs);
+
+}  // namespace hyperpath

@@ -1,0 +1,65 @@
+#include "hamdecomp/directed.hpp"
+
+#include <set>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+DirectedCycleFamily::DirectedCycleFamily(int dims)
+    : DirectedCycleFamily(hamiltonian_decomposition(dims)) {}
+
+DirectedCycleFamily::DirectedCycleFamily(const HamDecomposition& d)
+    : dims_(d.dims) {
+  const std::uint64_t n_nodes = pow2(dims_);
+  succ_.assign(2 * d.cycles.size(), std::vector<Node>(n_nodes, kNoNode));
+  for (std::size_t i = 0; i < d.cycles.size(); ++i) {
+    const auto& cyc = d.cycles[i];
+    for (std::size_t j = 0; j < cyc.size(); ++j) {
+      const Node a = cyc[j];
+      const Node b = cyc[(j + 1) % cyc.size()];
+      succ_[2 * i][a] = b;      // forward orientation
+      succ_[2 * i + 1][b] = a;  // reverse orientation
+    }
+  }
+}
+
+std::vector<Node> DirectedCycleFamily::sequence(int cycle, Node start) const {
+  HP_CHECK(cycle >= 0 && cycle < num_cycles(), "cycle index out of range");
+  const std::uint64_t n_nodes = pow2(dims_);
+  std::vector<Node> seq;
+  seq.reserve(n_nodes);
+  Node v = start;
+  for (std::uint64_t i = 0; i < n_nodes; ++i) {
+    seq.push_back(v);
+    v = next(cycle, v);
+  }
+  HP_CHECK(v == start, "directed cycle does not close at expected length");
+  return seq;
+}
+
+void DirectedCycleFamily::verify_or_throw() const {
+  const std::uint64_t n_nodes = pow2(dims_);
+  HP_CHECK(num_cycles() == 2 * (dims_ / 2), "wrong cycle count for Lemma 1");
+  std::set<std::pair<Node, Node>> used;  // directed edges across the family
+  for (int c = 0; c < num_cycles(); ++c) {
+    std::vector<bool> seen(n_nodes, false);
+    Node v = 0;
+    for (std::uint64_t i = 0; i < n_nodes; ++i) {
+      const Node w = next(c, v);
+      HP_CHECK(w != kNoNode, "cycle successor undefined");
+      HP_CHECK(is_pow2(v ^ w), "dilation-1 violated: step is not an edge");
+      HP_CHECK(!seen[v], "cycle revisits a node");
+      seen[v] = true;
+      HP_CHECK(used.emplace(v, w).second,
+               "congestion-1 violated: directed edge reused");
+      // Opposite orientations must be mutual reverses.
+      HP_CHECK(next(c ^ 1, w) == v, "paired cycle is not the reverse");
+      v = w;
+    }
+    HP_CHECK(v == 0, "cycle does not close");
+  }
+}
+
+}  // namespace hyperpath

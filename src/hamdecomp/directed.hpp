@@ -1,0 +1,53 @@
+// Lemma 1 (Section 3.1): multiple-copy embeddings of directed cycles.
+//
+// Orienting each of the ⌊n/2⌋ undirected Hamiltonian cycles of Q_n in both
+// directions yields 2⌊n/2⌋ *directed* Hamiltonian cycles — n copies for even
+// n, n−1 for odd n — each with dilation 1, and jointly with congestion 1
+// (no directed hypercube edge is used by two cycles).
+//
+// The numbering follows Theorem 1's requirement: directed cycles 2i and
+// 2i+1 are the two orientations of undirected cycle i ("names differing in
+// the least significant bit correspond to opposite orientations").
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "hamdecomp/decomposition.hpp"
+
+namespace hyperpath {
+
+class DirectedCycleFamily {
+ public:
+  /// Builds the family over Q_dims from hamiltonian_decomposition(dims).
+  explicit DirectedCycleFamily(int dims);
+
+  /// Builds from an explicit decomposition (used by tests).
+  explicit DirectedCycleFamily(const HamDecomposition& decomposition);
+
+  int dims() const { return dims_; }
+
+  /// 2⌊n/2⌋ directed cycles: n for even n, n−1 for odd n (Lemma 1).
+  int num_cycles() const { return static_cast<int>(succ_.size()); }
+
+  /// The successor of node v along directed cycle c.
+  Node next(int cycle, Node v) const { return succ_[cycle][v]; }
+
+  /// The predecessor of v along cycle c (== next along the paired opposite
+  /// orientation, cycle XOR 1).
+  Node prev(int cycle, Node v) const { return succ_[cycle ^ 1][v]; }
+
+  /// The full closed node sequence of cycle c starting from `start`.
+  std::vector<Node> sequence(int cycle, Node start = 0) const;
+
+  /// Throws unless the family satisfies Lemma 1: every cycle is a directed
+  /// Hamiltonian cycle, cycles 2i/2i+1 are mutual reverses, and no directed
+  /// hypercube edge is used twice across the family.
+  void verify_or_throw() const;
+
+ private:
+  int dims_;
+  std::vector<std::vector<Node>> succ_;  // [cycle][node] → next node
+};
+
+}  // namespace hyperpath

@@ -1,0 +1,72 @@
+#include "sim/faults.hpp"
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "sim/phase.hpp"
+
+namespace hyperpath {
+
+void FaultSet::kill_link(Node u, Node v) {
+  HP_CHECK(host_.is_edge(u, v), "not a hypercube link");
+  dead_.insert(host_.edge_id(u, v));
+  dead_.insert(host_.edge_id(v, u));
+}
+
+FaultSet FaultSet::random(int dims, int count, Rng& rng) {
+  FaultSet f(dims);
+  const Hypercube q(dims);
+  HP_CHECK(static_cast<std::uint64_t>(count) <= q.num_undirected_edges(),
+           "more faults than links");
+  while (f.dead_.size() < 2 * static_cast<std::size_t>(count)) {
+    const Node u = static_cast<Node>(rng.below(q.num_nodes()));
+    const Dim d = static_cast<Dim>(rng.below(dims));
+    f.kill_link(u, q.neighbor(u, d));
+  }
+  return f;
+}
+
+bool FaultSet::path_alive(const HostPath& path) const {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (link_dead(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+BundleDelivery deliver_over_bundle(const FaultSet& faults,
+                                   std::span<const HostPath> bundle) {
+  BundleDelivery d;
+  d.paths_total = static_cast<int>(bundle.size());
+  for (const HostPath& p : bundle) {
+    if (faults.path_alive(p)) ++d.paths_alive;
+  }
+  return d;
+}
+
+std::vector<BundleDelivery> deliver_phase(const FaultSet& faults,
+                                          const MultiPathEmbedding& emb) {
+  std::vector<BundleDelivery> out;
+  out.reserve(emb.guest().num_edges());
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    out.push_back(deliver_over_bundle(faults, emb.paths(e)));
+  }
+  return out;
+}
+
+DegradedResult run_phase_with_faults(const FaultSet& faults,
+                                     const MultiPathEmbedding& emb, int p) {
+  DegradedResult out;
+  std::vector<Packet> survivors;
+  for (Packet& pk : phase_packets(emb, p)) {
+    if (faults.path_alive(pk.route)) {
+      survivors.push_back(std::move(pk));
+    } else {
+      ++out.dropped;
+    }
+  }
+  out.delivered = survivors.size();
+  StoreForwardSim sim(emb.host().dims());
+  out.sim = sim.run(survivors);
+  return out;
+}
+
+}  // namespace hyperpath

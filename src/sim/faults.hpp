@@ -1,0 +1,75 @@
+// Link-fault injection (the fault-tolerance application of Sections 1 and 9).
+//
+// A fault set is a collection of dead *directed* links (a broken physical
+// link is modeled as both directions dead).  Multiple-path embeddings
+// tolerate faults structurally: a guest edge with w edge-disjoint paths
+// still delivers over every path that avoids the dead links, and combined
+// with information dispersal (see ida.hpp) the message survives as long as
+// enough fragments get through.
+#pragma once
+
+#include <unordered_set>
+
+#include "base/rng.hpp"
+#include "embed/embedding.hpp"
+#include "sim/packet.hpp"
+
+namespace hyperpath {
+
+class FaultSet {
+ public:
+  explicit FaultSet(int dims) : host_(dims) {}
+
+  /// Marks the physical link between u and v dead (both directions).
+  void kill_link(Node u, Node v);
+
+  /// Kills `count` distinct random physical links.
+  static FaultSet random(int dims, int count, Rng& rng);
+
+  bool link_dead(Node u, Node v) const {
+    return dead_.contains(host_.edge_id(u, v));
+  }
+
+  /// True iff every hop of the path is alive.
+  bool path_alive(const HostPath& path) const;
+
+  std::size_t num_dead_directed() const { return dead_.size(); }
+
+ private:
+  Hypercube host_;
+  std::unordered_set<std::uint64_t> dead_;
+};
+
+/// Result of delivering one guest edge's message over its path bundle under
+/// faults.
+struct BundleDelivery {
+  int paths_total = 0;
+  int paths_alive = 0;
+};
+
+/// Evaluates which of the bundle's paths survive the fault set.
+BundleDelivery deliver_over_bundle(const FaultSet& faults,
+                                   std::span<const HostPath> bundle);
+
+/// For every guest edge of a multipath embedding, the number of surviving
+/// paths.  Used to measure fault tolerance of width-w embeddings.
+std::vector<BundleDelivery> deliver_phase(const FaultSet& faults,
+                                          const MultiPathEmbedding& emb);
+
+/// Outcome of a degraded-mode phase: packets whose route crosses a dead
+/// link are dropped at the break point; the rest complete normally.
+struct DegradedResult {
+  SimResult sim;             // makespan/utilization of the surviving traffic
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+};
+
+/// Runs one p-packet phase of the embedding *through* the fault set on the
+/// store-and-forward simulator: dead-path packets are dropped (they never
+/// enter the network — the sender's route computation sees the break), the
+/// others are simulated.  This is the latency picture of a degraded
+/// machine, complementing the static deliver_phase counts.
+DegradedResult run_phase_with_faults(const FaultSet& faults,
+                                     const MultiPathEmbedding& emb, int p);
+
+}  // namespace hyperpath

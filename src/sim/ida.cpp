@@ -1,0 +1,173 @@
+#include "sim/ida.hpp"
+
+#include <array>
+
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+namespace gf256 {
+
+namespace {
+
+// Log/antilog tables for generator 0x03 modulo 0x11B.
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 510> exp{};
+
+  Tables() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      exp[i + 255] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      // Multiply by the generator 0x03 = x + 1:  x*3 = (x<<1) ^ x.
+      x = static_cast<std::uint16_t>((x << 1) ^ x);
+      if (x & 0x100) x ^= 0x11B;
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  HP_CHECK(a != 0, "GF(256) inverse of zero");
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) {
+  std::uint8_t r = 1;
+  while (e > 0) {
+    if (e & 1) r = mul(r, a);
+    a = mul(a, a);
+    e >>= 1;
+  }
+  return r;
+}
+
+}  // namespace gf256
+
+namespace {
+
+// Row i of the dispersal matrix: [x_i^0 .. x_i^{m-1}], x_i = i + 1.
+std::vector<std::uint8_t> dispersal_row(int i, int m) {
+  std::vector<std::uint8_t> row(m);
+  const std::uint8_t x = static_cast<std::uint8_t>(i + 1);
+  for (int j = 0; j < m; ++j) row[j] = gf256::pow(x, static_cast<unsigned>(j));
+  return row;
+}
+
+}  // namespace
+
+std::vector<IdaFragment> ida_encode(std::span<const std::uint8_t> data,
+                                    int n_fragments, int threshold) {
+  HP_CHECK(threshold >= 1 && threshold <= n_fragments && n_fragments <= 255,
+           "IDA parameters out of range");
+  const int m = threshold;
+  const std::size_t cols = (data.size() + m - 1) / m;
+
+  std::vector<IdaFragment> fragments(n_fragments);
+  for (int i = 0; i < n_fragments; ++i) {
+    fragments[i].index = i;
+    fragments[i].payload.assign(cols, 0);
+  }
+  for (int i = 0; i < n_fragments; ++i) {
+    const auto row = dispersal_row(i, m);
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::uint8_t acc = 0;
+      for (int j = 0; j < m; ++j) {
+        const std::size_t idx = c * m + j;
+        const std::uint8_t byte = idx < data.size() ? data[idx] : 0;
+        acc = gf256::add(acc, gf256::mul(row[j], byte));
+      }
+      fragments[i].payload[c] = acc;
+    }
+  }
+  return fragments;
+}
+
+std::optional<std::vector<std::uint8_t>> ida_decode(
+    std::span<const IdaFragment> fragments, int threshold,
+    std::size_t original_size) {
+  const int m = threshold;
+  if (static_cast<int>(fragments.size()) < m) return std::nullopt;
+
+  // Use the first m fragments with distinct indices.
+  std::vector<const IdaFragment*> use;
+  for (const IdaFragment& f : fragments) {
+    bool dup = false;
+    for (const IdaFragment* u : use) dup |= (u->index == f.index);
+    if (!dup) use.push_back(&f);
+    if (static_cast<int>(use.size()) == m) break;
+  }
+  if (static_cast<int>(use.size()) < m) return std::nullopt;
+
+  const std::size_t cols = use[0]->payload.size();
+  for (const IdaFragment* f : use) {
+    HP_CHECK(f->payload.size() == cols, "fragment sizes differ");
+    HP_CHECK(f->index >= 0 && f->index < 255, "fragment index out of range");
+  }
+
+  // Build [A | I] and invert A by Gauss–Jordan over GF(2^8).
+  std::vector<std::vector<std::uint8_t>> a(m), inv(m);
+  for (int r = 0; r < m; ++r) {
+    a[r] = dispersal_row(use[r]->index, m);
+    inv[r].assign(m, 0);
+    inv[r][r] = 1;
+  }
+  for (int col = 0; col < m; ++col) {
+    int pivot = -1;
+    for (int r = col; r < m; ++r) {
+      if (a[r][col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    HP_CHECK(pivot >= 0, "Vandermonde submatrix singular (impossible)");
+    std::swap(a[col], a[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    const std::uint8_t scale = gf256::inv(a[col][col]);
+    for (int j = 0; j < m; ++j) {
+      a[col][j] = gf256::mul(a[col][j], scale);
+      inv[col][j] = gf256::mul(inv[col][j], scale);
+    }
+    for (int r = 0; r < m; ++r) {
+      if (r == col || a[r][col] == 0) continue;
+      const std::uint8_t f = a[r][col];
+      for (int j = 0; j < m; ++j) {
+        a[r][j] = gf256::add(a[r][j], gf256::mul(f, a[col][j]));
+        inv[r][j] = gf256::add(inv[r][j], gf256::mul(f, inv[col][j]));
+      }
+    }
+  }
+
+  // Reconstruct: original column block = A^{-1} · fragment column.
+  std::vector<std::uint8_t> out(cols * m, 0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (int j = 0; j < m; ++j) {
+      std::uint8_t acc = 0;
+      for (int r = 0; r < m; ++r) {
+        acc = gf256::add(acc, gf256::mul(inv[j][r], use[r]->payload[c]));
+      }
+      out[c * m + j] = acc;
+    }
+  }
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace hyperpath

@@ -1,0 +1,49 @@
+// Rabin's Information Dispersal Algorithm [22] over GF(2^8).
+//
+// A message of |data| bytes is encoded into n fragments, each of size
+// ⌈|data|/m⌉ bytes, such that *any* m fragments reconstruct the message
+// exactly.  Sent along the w = n edge-disjoint paths of a multiple-path
+// embedding, delivery survives any n − m path failures with only n/m-fold
+// redundancy — the fault-tolerant transmission scheme the paper's
+// introduction proposes.
+//
+// Implementation: the dispersal matrix is the n×m Vandermonde matrix with
+// distinct nonzero evaluation points x_i = i + 1 in GF(2^8) (any m of its
+// rows are linearly independent); decoding inverts the surviving m×m
+// submatrix by Gaussian elimination over GF(2^8).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace hyperpath {
+
+/// GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11B).
+namespace gf256 {
+std::uint8_t add(std::uint8_t a, std::uint8_t b);
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t inv(std::uint8_t a);  // a != 0
+std::uint8_t pow(std::uint8_t a, unsigned e);
+}  // namespace gf256
+
+/// A fragment: its index (row of the dispersal matrix) plus payload.
+struct IdaFragment {
+  int index = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Encodes data into n fragments with reconstruction threshold m.
+/// Requires 1 <= m <= n <= 255.
+std::vector<IdaFragment> ida_encode(std::span<const std::uint8_t> data,
+                                    int n_fragments, int threshold);
+
+/// Reconstructs the original data (whose exact size must be supplied) from
+/// any >= threshold fragments.  Returns nullopt if fewer than `threshold`
+/// fragments were supplied or indices repeat.
+std::optional<std::vector<std::uint8_t>> ida_decode(
+    std::span<const IdaFragment> fragments, int threshold,
+    std::size_t original_size);
+
+}  // namespace hyperpath

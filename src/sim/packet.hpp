@@ -1,0 +1,48 @@
+// Packet and result types shared by the simulators.
+//
+// The simulation model is exactly Section 3's: time advances in synchronous
+// steps; during one step each processor can send one packet over each of its
+// n outgoing links.  A packet has a fixed route (chosen by the embedding /
+// router before the simulation starts — all the paper's schemes are
+// oblivious), and waits in a per-link queue when its next link is busy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+#include "graph/hypercube.hpp"
+
+namespace hyperpath {
+
+/// One packet with a fixed route through the hypercube.
+struct Packet {
+  HostPath route;     // node sequence; route.size() >= 1
+  int release = 0;    // earliest step at which the packet may move
+  std::uint32_t tag = 0;  // caller-defined grouping (e.g. guest edge id)
+};
+
+/// Outcome of a synchronous simulation run.
+struct SimResult {
+  /// Number of steps until the last packet reached its destination (0 if
+  /// every route was trivial).
+  int makespan = 0;
+
+  /// Per-step fraction of directed links that transmitted a packet.
+  std::vector<double> utilization;
+
+  /// Total packet-hops transmitted.
+  std::uint64_t total_transmissions = 0;
+
+  /// Maximum number of packets that ever waited in one link queue.
+  std::size_t max_queue = 0;
+
+  double average_utilization() const {
+    if (utilization.empty()) return 0.0;
+    double s = 0;
+    for (double u : utilization) s += u;
+    return s / static_cast<double>(utilization.size());
+  }
+};
+
+}  // namespace hyperpath

@@ -1,0 +1,33 @@
+// Thread-parallel store-and-forward simulation.
+//
+// The synchronous link model parallelizes naturally: within a step every
+// link arbitrates independently, so links are sharded across worker threads
+// (by link-id hash) and arrivals are buffered per worker and merged in a
+// fixed order at the step barrier.  The result is bit-identical to
+// StoreForwardSim (tests enforce this) — parallelism changes wall-clock
+// time only, never the measured makespan or utilization.
+//
+// Worth using from ~10^5 packets upward (Theorem 1 phases on Q_16 and the
+// relaxation sweeps); below that the barrier overhead dominates.
+#pragma once
+
+#include "sim/packet.hpp"
+#include "sim/store_forward.hpp"
+
+namespace hyperpath {
+
+class ParallelStoreForwardSim {
+ public:
+  /// Simulates on Q_dims with `threads` workers (0 = hardware concurrency).
+  explicit ParallelStoreForwardSim(int dims, int threads = 0);
+
+  /// FIFO arbitration only (farthest-first would need cross-shard state).
+  SimResult run(const std::vector<Packet>& packets,
+                int max_steps = 1 << 22) const;
+
+ private:
+  Hypercube host_;
+  int threads_;
+};
+
+}  // namespace hyperpath

@@ -1,0 +1,63 @@
+#include "sim/phase.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+std::vector<Packet> phase_packets(const MultiPathEmbedding& emb, int p) {
+  HP_CHECK(p >= 1, "phase needs at least one packet per edge");
+  std::vector<Packet> packets;
+  packets.reserve(emb.guest().num_edges() * static_cast<std::size_t>(p));
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const auto bundle = emb.paths(e);
+    // Order paths by length so packet 0 takes the shortest (direct) path.
+    std::vector<std::size_t> order(bundle.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return bundle[a].size() < bundle[b].size();
+                     });
+    for (int j = 0; j < p; ++j) {
+      Packet pk;
+      pk.route = bundle[order[j % order.size()]];
+      pk.tag = static_cast<std::uint32_t>(e);
+      packets.push_back(std::move(pk));
+    }
+  }
+  return packets;
+}
+
+std::vector<Packet> phase_packets(const KCopyEmbedding& emb, int p) {
+  HP_CHECK(p >= 1, "phase needs at least one packet per edge");
+  std::vector<Packet> packets;
+  packets.reserve(emb.guest().num_edges() *
+                  static_cast<std::size_t>(p * emb.num_copies()));
+  for (int c = 0; c < emb.num_copies(); ++c) {
+    for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+      for (int j = 0; j < p; ++j) {
+        Packet pk;
+        pk.route = emb.path(c, e);
+        pk.tag = static_cast<std::uint32_t>(e);
+        packets.push_back(std::move(pk));
+      }
+    }
+  }
+  return packets;
+}
+
+SimResult measure_phase_cost(const MultiPathEmbedding& emb, int p,
+                             Arbitration policy) {
+  StoreForwardSim sim(emb.host().dims());
+  return sim.run(phase_packets(emb, p), policy);
+}
+
+SimResult measure_phase_cost(const KCopyEmbedding& emb, int p,
+                             Arbitration policy) {
+  StoreForwardSim sim(emb.host().dims());
+  return sim.run(phase_packets(emb, p), policy);
+}
+
+}  // namespace hyperpath

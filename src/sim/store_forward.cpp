@@ -1,0 +1,122 @@
+#include "sim/store_forward.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+StoreForwardSim::StoreForwardSim(int dims) : host_(dims) {}
+
+SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
+                               Arbitration policy, int max_steps) const {
+  // Validate routes up front.
+  for (const Packet& p : packets) {
+    HP_CHECK(is_valid_path(host_, p.route), "packet route invalid");
+    HP_CHECK(p.release >= 0, "negative release time");
+  }
+
+  // Per-link waiting lists, keyed by directed link id.  Sparse map: only
+  // links that ever carry traffic get a queue.
+  struct Waiting {
+    std::deque<std::uint32_t> q;  // packet indices, FIFO arrival order
+  };
+  std::unordered_map<std::uint64_t, Waiting> queues;
+  queues.reserve(packets.size());
+
+  std::vector<std::uint32_t> hop(packets.size(), 0);  // next edge index
+  std::size_t undelivered = 0;
+
+  // Packets released later than step 0 sit in a release list.
+  std::vector<std::vector<std::uint32_t>> release_at;
+  auto enqueue = [&](std::uint32_t id) {
+    const Packet& p = packets[id];
+    const std::uint64_t link = host_.edge_id(p.route[hop[id]],
+                                             p.route[hop[id] + 1]);
+    queues[link].q.push_back(id);
+  };
+
+  for (std::uint32_t id = 0; id < packets.size(); ++id) {
+    const Packet& p = packets[id];
+    if (p.route.size() <= 1) continue;  // already at destination
+    ++undelivered;
+    if (p.release == 0) {
+      enqueue(id);
+    } else {
+      if (release_at.size() <= static_cast<std::size_t>(p.release)) {
+        release_at.resize(p.release + 1);
+      }
+      release_at[p.release].push_back(id);
+    }
+  }
+
+  SimResult result;
+  const double total_links = static_cast<double>(host_.num_directed_edges());
+
+  int step = 0;
+  std::size_t max_queue = 0;
+  while (undelivered > 0) {
+    HP_CHECK(step < max_steps, "simulation exceeded max_steps");
+    if (static_cast<std::size_t>(step) < release_at.size()) {
+      for (std::uint32_t id : release_at[step]) enqueue(id);
+    }
+
+    // One transmission per nonempty link queue.
+    std::uint64_t busy = 0;
+    std::vector<std::uint32_t> moved;
+    moved.reserve(queues.size());
+    for (auto& [link, w] : queues) {
+      if (w.q.empty()) continue;
+      max_queue = std::max(max_queue, w.q.size());
+      std::uint32_t pick;
+      if (policy == Arbitration::kFifo) {
+        pick = w.q.front();
+        w.q.pop_front();
+      } else {
+        // Farthest remaining distance first; ties broken by queue order.
+        auto best = w.q.begin();
+        std::size_t best_left =
+            packets[*best].route.size() - 1 - hop[*best];
+        for (auto it = std::next(w.q.begin()); it != w.q.end(); ++it) {
+          const std::size_t left = packets[*it].route.size() - 1 - hop[*it];
+          if (left > best_left) {
+            best = it;
+            best_left = left;
+          }
+        }
+        pick = *best;
+        w.q.erase(best);
+      }
+      ++busy;
+      ++result.total_transmissions;
+      moved.push_back(pick);
+    }
+
+    // Arrivals: advance hops; re-enqueue or deliver.  (Done after all links
+    // transmitted so a packet moves at most one hop per step.)  Same-step
+    // arrivals at one link are enqueued in increasing packet id — the
+    // canonical order that makes results reproducible across standard
+    // libraries and lets the parallel simulator match bit for bit.
+    std::sort(moved.begin(), moved.end());
+    for (std::uint32_t id : moved) {
+      ++hop[id];
+      const Packet& p = packets[id];
+      if (hop[id] + 1 == p.route.size()) {
+        --undelivered;
+      } else {
+        enqueue(id);
+      }
+    }
+
+    result.utilization.push_back(static_cast<double>(busy) / total_links);
+    ++step;
+  }
+
+  result.makespan = step;
+  result.max_queue = max_queue;
+  return result;
+}
+
+}  // namespace hyperpath

@@ -1,0 +1,34 @@
+// Synchronous store-and-forward link simulator.
+//
+// Each directed link transmits at most one packet per step; packets whose
+// next link is busy wait in that link's queue.  Two arbitration policies:
+//
+//   * kFifo          — queue order (arrival time, ties by packet id);
+//   * kFarthestFirst — the waiting packet with the most remaining hops goes
+//                      first (a common latency-improving heuristic).
+//
+// The simulator is deterministic for a fixed packet list and policy.
+#pragma once
+
+#include "sim/packet.hpp"
+
+namespace hyperpath {
+
+enum class Arbitration { kFifo, kFarthestFirst };
+
+class StoreForwardSim {
+ public:
+  /// Simulates on Q_dims.
+  explicit StoreForwardSim(int dims);
+
+  /// Runs the packet set to completion and returns the measured result.
+  /// Throws if any route is invalid or the simulation exceeds `max_steps`.
+  SimResult run(const std::vector<Packet>& packets,
+                Arbitration policy = Arbitration::kFifo,
+                int max_steps = 1 << 22) const;
+
+ private:
+  Hypercube host_;
+};
+
+}  // namespace hyperpath

@@ -1,0 +1,66 @@
+#include "sim/workloads.hpp"
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+
+Pattern random_permutation_pattern(int dims, Rng& rng) {
+  return rng.permutation(static_cast<std::uint32_t>(pow2(dims)));
+}
+
+Pattern bit_reversal_pattern(int dims) {
+  const std::uint64_t n = pow2(dims);
+  Pattern p(n);
+  for (Node v = 0; v < n; ++v) {
+    Node r = 0;
+    for (int b = 0; b < dims; ++b) {
+      if (test_bit(v, b)) r |= bit(dims - 1 - b);
+    }
+    p[v] = r;
+  }
+  return p;
+}
+
+Pattern transpose_pattern(int dims) {
+  HP_CHECK(dims % 2 == 0, "transpose needs an even dimension count");
+  const int h = dims / 2;
+  const std::uint64_t n = pow2(dims);
+  Pattern p(n);
+  for (Node v = 0; v < n; ++v) {
+    const Node lo = bit_field(v, 0, h);
+    const Node hi = bit_field(v, h, h);
+    p[v] = (lo << h) | hi;
+  }
+  return p;
+}
+
+Pattern complement_pattern(int dims) {
+  const std::uint64_t n = pow2(dims);
+  Pattern p(n);
+  for (Node v = 0; v < n; ++v) p[v] = static_cast<Node>((n - 1) ^ v);
+  return p;
+}
+
+HostPath ecube_route(const Hypercube& q, Node src, Node dst) {
+  HP_CHECK(q.contains(src) && q.contains(dst), "endpoint outside hypercube");
+  HostPath path{src};
+  Node v = src;
+  for (Dim d = 0; d < q.dims(); ++d) {
+    if (test_bit(v ^ dst, d)) {
+      v = flip_bit(v, d);
+      path.push_back(v);
+    }
+  }
+  return path;
+}
+
+HostPath valiant_route(const Hypercube& q, Node src, Node dst, Rng& rng) {
+  const Node mid = static_cast<Node>(rng.below(q.num_nodes()));
+  HostPath first = ecube_route(q, src, mid);
+  const HostPath second = ecube_route(q, mid, dst);
+  first.insert(first.end(), second.begin() + 1, second.end());
+  return first;
+}
+
+}  // namespace hyperpath

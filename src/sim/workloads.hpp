@@ -1,0 +1,36 @@
+// Permutation workloads and baseline routes for routing experiments
+// (Section 7 uses permutation routing of long messages).
+#pragma once
+
+#include "base/rng.hpp"
+#include "sim/packet.hpp"
+
+namespace hyperpath {
+
+/// A destination per hypercube node (a permutation of the node set).
+using Pattern = std::vector<Node>;
+
+/// Uniformly random permutation of Q_dims' nodes.
+Pattern random_permutation_pattern(int dims, Rng& rng);
+
+/// Bit-reversal: destination of v is its address with the bit order
+/// reversed.  A classic hard pattern for dimension-ordered routing.
+Pattern bit_reversal_pattern(int dims);
+
+/// Transpose: swap the high and low halves of the address (dims even).
+Pattern transpose_pattern(int dims);
+
+/// Complement: destination of v is ~v — every route crosses all dimensions.
+Pattern complement_pattern(int dims);
+
+/// Dimension-ordered (e-cube) route from src to dst: correct differing bits
+/// from dimension 0 upward.  The standard oblivious baseline.
+HostPath ecube_route(const Hypercube& q, Node src, Node dst);
+
+/// Valiant's randomized two-phase route: e-cube to a uniformly random
+/// intermediate node, then e-cube to the destination.  The classical cure
+/// for adversarial permutations (Section 7's store-and-forward context
+/// [17, 20, 23] builds on this idea).
+HostPath valiant_route(const Hypercube& q, Node src, Node dst, Rng& rng);
+
+}  // namespace hyperpath

@@ -1,0 +1,92 @@
+#include "base/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(Bits, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(1), 2u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(62), std::uint64_t{1} << 62);
+  EXPECT_THROW(pow2(-1), Error);
+  EXPECT_THROW(pow2(63), Error);
+}
+
+TEST(Bits, BitAndFlip) {
+  EXPECT_EQ(bit(0), 1u);
+  EXPECT_EQ(bit(5), 32u);
+  EXPECT_EQ(flip_bit(0b1010, 0), 0b1011u);
+  EXPECT_EQ(flip_bit(0b1010, 1), 0b1000u);
+  EXPECT_TRUE(test_bit(0b100, 2));
+  EXPECT_FALSE(test_bit(0b100, 1));
+}
+
+TEST(Bits, FlipIsInvolution) {
+  for (Node v : {0u, 1u, 0xDEADBEEFu >> 4, 12345u}) {
+    for (Dim d = 0; d < 28; ++d) {
+      EXPECT_EQ(flip_bit(flip_bit(v, d), d), v);
+    }
+  }
+}
+
+TEST(Bits, Logs) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_THROW(floor_log2(0), Error);
+  EXPECT_THROW(ceil_log2(0), Error);
+}
+
+TEST(Bits, CeilLog2MatchesDefinition) {
+  // ceil_log2(v) is the least k with 2^k >= v.
+  for (std::uint64_t v = 1; v <= 4096; ++v) {
+    const int k = ceil_log2(v);
+    EXPECT_GE(pow2(k), v);
+    if (k > 0) {
+      EXPECT_LT(pow2(k - 1), v);
+    }
+  }
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1u << 20));
+  EXPECT_FALSE(is_pow2((1u << 20) + 1));
+}
+
+TEST(Bits, BitField) {
+  const Node v = 0b1101'0110'1011u;
+  EXPECT_EQ(bit_field(v, 0, 4), 0b1011u);
+  EXPECT_EQ(bit_field(v, 4, 4), 0b0110u);
+  EXPECT_EQ(bit_field(v, 8, 4), 0b1101u);
+  EXPECT_EQ(bit_field(v, 3, 0), 0u);
+  EXPECT_EQ(set_bit_field(v, 4, 4, 0b1111), 0b1101'1111'1011u);
+  EXPECT_EQ(set_bit_field(v, 0, 0, 0b1111), v);
+}
+
+TEST(Bits, BitFieldRoundTrip) {
+  for (Node v : {0u, 0xABCDu, 0x0F0Fu, 0xFFFFu}) {
+    for (int lo = 0; lo <= 12; lo += 3) {
+      for (int w = 0; w <= 8; w += 2) {
+        const Node f = bit_field(v, lo, w);
+        EXPECT_EQ(set_bit_field(v, lo, w, f), v);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,106 @@
+#include "base/gray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(Gray, OpenSequenceMatchesPaperRecursion) {
+  // G'_1 = (0), G'_2 = (0,1,0), G'_3 = (0,1,0,2,0,1,0).
+  EXPECT_EQ(gray_transitions_open(1), (std::vector<Dim>{0}));
+  EXPECT_EQ(gray_transitions_open(2), (std::vector<Dim>{0, 1, 0}));
+  EXPECT_EQ(gray_transitions_open(3), (std::vector<Dim>{0, 1, 0, 2, 0, 1, 0}));
+}
+
+TEST(Gray, ClosedSequenceAppendsTopDimension) {
+  const auto g3 = gray_transitions_closed(3);
+  ASSERT_EQ(g3.size(), 8u);
+  EXPECT_EQ(g3.back(), 2);
+}
+
+TEST(Gray, ClosedFormMatchesRecursion) {
+  for (int k = 1; k <= 12; ++k) {
+    const auto seq = gray_transitions_closed(k);
+    for (std::uint64_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(gray_transition_at(k, i), seq[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(Gray, WalkVisitsEveryNodeOnceAndCloses) {
+  for (int k = 1; k <= 10; ++k) {
+    const auto seq = gray_transitions_closed(k);
+    std::set<Node> visited;
+    Node v = 0;
+    for (std::uint64_t i = 0; i < seq.size(); ++i) {
+      EXPECT_TRUE(visited.insert(v).second) << "revisit at step " << i;
+      v = flip_bit(v, seq[i]);
+    }
+    EXPECT_EQ(v, 0u) << "cycle must close";
+    EXPECT_EQ(visited.size(), pow2(k));
+  }
+}
+
+TEST(Gray, NodeAtMatchesWalk) {
+  for (int k = 1; k <= 10; ++k) {
+    Node v = 0;
+    for (std::uint64_t i = 0; i < pow2(k); ++i) {
+      EXPECT_EQ(gray_node_at(k, i), v);
+      v = flip_bit(v, gray_transition_at(k, i));
+    }
+  }
+}
+
+TEST(Gray, ConsecutiveNodesDifferInOneBit) {
+  const int k = 8;
+  for (std::uint64_t i = 0; i < pow2(k); ++i) {
+    const Node a = gray_node_at(k, i);
+    const Node b = gray_node_at(k, (i + 1) % pow2(k));
+    EXPECT_EQ(popcount(a ^ b), 1);
+  }
+}
+
+TEST(Gray, RankInvertsNodeAt) {
+  for (int k : {1, 2, 3, 7, 13}) {
+    for (std::uint64_t i = 0; i < pow2(k); ++i) {
+      EXPECT_EQ(gray_rank(k, gray_node_at(k, i)), i);
+    }
+  }
+}
+
+TEST(Gray, CycleNodesMatchesNodeAt) {
+  const int k = 6;
+  const auto nodes = gray_cycle_nodes(k);
+  ASSERT_EQ(nodes.size(), pow2(k));
+  for (std::uint64_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i], gray_node_at(k, i));
+  }
+}
+
+TEST(Gray, DimensionUsageCounts) {
+  // In the closed sequence G_k, dimension d < k-1 is used 2^{k-1-d} times and
+  // dimension k-1 is used twice.  (This is the skew Section 2 exploits.)
+  for (int k = 2; k <= 10; ++k) {
+    const auto seq = gray_transitions_closed(k);
+    std::vector<int> count(k, 0);
+    for (Dim d : seq) ++count[d];
+    for (int d = 0; d + 1 < k; ++d) {
+      EXPECT_EQ(count[d], static_cast<int>(pow2(k - 1 - d)));
+    }
+    EXPECT_EQ(count[k - 1], 2);
+  }
+}
+
+TEST(Gray, RejectsOutOfRange) {
+  EXPECT_THROW(gray_transitions_open(0), Error);
+  EXPECT_THROW(gray_node_at(3, 8), Error);
+  EXPECT_THROW(gray_rank(3, 8), Error);
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,69 @@
+#include "base/moment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/bits.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(Moment, Definition) {
+  EXPECT_EQ(moment(0), 0u);
+  EXPECT_EQ(moment(0b1), 0u);            // bit 0 → b(0) = 0
+  EXPECT_EQ(moment(0b10), 1u);           // bit 1
+  EXPECT_EQ(moment(0b11), 0u ^ 1u);      // bits 0,1
+  EXPECT_EQ(moment(0b101), 0u ^ 2u);     // bits 0,2
+  EXPECT_EQ(moment(0b11010), 1u ^ 3u ^ 4u);
+}
+
+TEST(Moment, FlipChangesMomentByDimensionIndex) {
+  // M(v XOR 2^i) = M(v) XOR b(i) — the mechanism behind Lemma 2.
+  for (Node v = 0; v < 1024; v += 7) {
+    for (Dim i = 0; i < 16; ++i) {
+      EXPECT_EQ(moment(flip_bit(v, i)), moment(v) ^ static_cast<Node>(i));
+    }
+  }
+}
+
+// Lemma 2: all hypercube neighbors of any node have pairwise distinct
+// moments.
+class MomentLemma2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(MomentLemma2, NeighborsHaveDistinctMoments) {
+  const int n = GetParam();
+  for (Node u = 0; u < pow2(n); ++u) {
+    std::set<Node> moments;
+    for (Dim d = 0; d < n; ++d) {
+      EXPECT_TRUE(moments.insert(moment(flip_bit(u, d))).second)
+          << "node " << u << " dim " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallCubes, MomentLemma2,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12));
+
+TEST(Moment, ModReducesRange) {
+  for (Node v = 0; v < 256; ++v) {
+    EXPECT_LT(moment_mod(v, 5), 5u);
+    EXPECT_EQ(moment_mod(v, 1), 0u);
+  }
+}
+
+TEST(Moment, NeighborsDistinctUnderPow2Modulus) {
+  // When the modulus is 2^ceil_log2(n) (i.e. at least the moment range of an
+  // n-dimensional address), reduction preserves Lemma 2.
+  const int n = 8;  // moments of 8-dim addresses live in [0, 8)
+  const Node m = 8;
+  for (Node u = 0; u < pow2(n); ++u) {
+    std::set<Node> seen;
+    for (Dim d = 0; d < n; ++d) {
+      EXPECT_TRUE(seen.insert(moment_mod(flip_bit(u, d), m)).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperpath

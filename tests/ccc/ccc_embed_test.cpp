@@ -1,0 +1,241 @@
+#include "ccc/ccc_embed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "base/moment.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(CccSpec, SingleSpecWellFormed) {
+  for (int n : {2, 4, 8}) {
+    const auto s = ccc_single_spec(n);
+    EXPECT_NO_THROW(s.verify_or_throw());
+    EXPECT_EQ(static_cast<int>(s.w.size()), s.r);
+    EXPECT_EQ(static_cast<int>(s.wbar.size()), n);
+  }
+  EXPECT_THROW(ccc_single_spec(3), Error);
+  EXPECT_THROW(ccc_single_spec(6), Error);
+}
+
+TEST(CccSpec, MulticopySpecsWellFormed) {
+  for (int n : {2, 4, 8}) {
+    for (int k = 0; k < n; ++k) {
+      EXPECT_NO_THROW(ccc_multicopy_spec(n, k).verify_or_throw());
+    }
+  }
+  EXPECT_THROW(ccc_multicopy_spec(4, 4), Error);
+}
+
+TEST(CccSpec, OverlappingWindowStructure) {
+  // "all windows contain dimension 1; of all the windows that contain
+  // dimension i, half also contain dimension 2i, the other half 2i+1."
+  const int n = 8;
+  std::vector<Window> ws;
+  for (int k = 0; k < n; ++k) ws.push_back(ccc_multicopy_spec(n, k).w);
+  for (const auto& w : ws) EXPECT_EQ(w[0], 1);
+  std::map<Dim, std::pair<int, int>> split;  // dim → (with 2d, with 2d+1)
+  for (const auto& w : ws) {
+    for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+      const Dim d = w[i];
+      if (w[i + 1] == 2 * d) ++split[d].first;
+      if (w[i + 1] == 2 * d + 1) ++split[d].second;
+    }
+  }
+  for (const auto& [d, counts] : split) {
+    EXPECT_EQ(counts.first, counts.second) << "dim " << d;
+  }
+}
+
+TEST(CccSpec, Observation4WindowPrefixes) {
+  // λ(W^{k1}, W^{k2}) = λ(k1, k2) + 1.
+  const int n = 8, r = 3;
+  for (int k1 = 0; k1 < n; ++k1) {
+    for (int k2 = 0; k2 < n; ++k2) {
+      if (k1 == k2) continue;
+      const auto w1 = ccc_multicopy_spec(n, k1).w;
+      const auto w2 = ccc_multicopy_spec(n, k2).w;
+      EXPECT_EQ(common_prefix_len(w1, w2),
+                common_prefix_len(static_cast<Node>(k1),
+                                  static_cast<Node>(k2), r) +
+                    1);
+    }
+  }
+}
+
+TEST(CccSpec, Observation5HamPrefixes) {
+  // λ(H^{k1}(ℓ), H^{k2}(ℓ)) = λ(k1, k2) for every level ℓ.  Signatures are
+  // stored position-first (window position i in bit i), so their prefixes
+  // read from bit 0; copy numbers are read MSB-first as in the paper.
+  const int n = 8, r = 3;
+  for (int k1 = 0; k1 < n; ++k1) {
+    for (int k2 = 0; k2 < n; ++k2) {
+      if (k1 == k2) continue;
+      const auto h1 = ccc_multicopy_spec(n, k1).ham;
+      const auto h2 = ccc_multicopy_spec(n, k2).ham;
+      for (int l = 0; l < n; ++l) {
+        EXPECT_EQ(common_prefix_len_lsb(h1[l], h2[l], r),
+                  common_prefix_len(static_cast<Node>(k1),
+                                    static_cast<Node>(k2), r));
+      }
+    }
+  }
+}
+
+TEST(CccSpec, Dimension1CarriesStraightEdgesOfTwoLevelsOnly) {
+  // Dimension 1 = window position 0 = the paper's most significant Gray
+  // bit, used only at levels n/2 − 1 and n − 1 (Lemma 8's preamble).
+  const int n = 8;
+  for (int k = 0; k < n; ++k) {
+    const auto s = ccc_multicopy_spec(n, k);
+    std::set<int> levels_on_dim1;
+    for (int l = 0; l < n; ++l) {
+      const Node diff = s.ham[l] ^ s.ham[(l + 1) % n];
+      if (s.w[count_trailing_zeros(diff)] == 1) levels_on_dim1.insert(l);
+    }
+    EXPECT_EQ(levels_on_dim1, (std::set<int>{n / 2 - 1, n - 1}));
+  }
+}
+
+// Lemma 4: single-copy CCC in Q_{n + log n}, dilation 1, one-to-one.
+class CccSingle : public ::testing::TestWithParam<int> {};
+
+TEST_P(CccSingle, Lemma4) {
+  const int n = GetParam();
+  const auto emb = ccc_single_embedding(n);
+  EXPECT_EQ(emb.num_copies(), 1);
+  EXPECT_EQ(emb.host().dims(), n + floor_log2(n));
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_NO_THROW(emb.verify_or_throw());
+  // Optimal expansion: n·2^n nodes in a 2^{n+log n} = n·2^n-node hypercube.
+  EXPECT_EQ(emb.guest().num_nodes(), emb.host().num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, CccSingle, ::testing::Values(2, 4, 8));
+
+// Lemma 4 for general n: dilation 1 (even) / 2 (odd) in Q_{n+⌈log n⌉}.
+class CccSingleGeneral : public ::testing::TestWithParam<int> {};
+
+TEST_P(CccSingleGeneral, Lemma4GeneralN) {
+  const int n = GetParam();
+  const auto emb = ccc_single_embedding_general(n);
+  EXPECT_EQ(emb.num_copies(), 1);
+  EXPECT_EQ(emb.host().dims(), n + ceil_log2(n));
+  EXPECT_EQ(emb.dilation(), (n % 2 == 0) ? 1 : 2);
+  EXPECT_NO_THROW(emb.verify_or_throw());
+}
+
+INSTANTIATE_TEST_SUITE_P(GeneralN, CccSingleGeneral,
+                         ::testing::Values(3, 5, 6, 7, 9, 10, 12, 13));
+
+TEST(CccSingleGeneral, OddSeamIsConfinedToOneLevel) {
+  // Only the level n−1 → 0 straight edges may have dilation 2.
+  const int n = 5;
+  const auto emb = ccc_single_embedding_general(n);
+  const LevelColumnLayout lay = ccc_layout(n);
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const Edge& ge = emb.guest().edge(e);
+    const auto& p = emb.path(0, e);
+    if (p.size() > 2) {
+      EXPECT_EQ(lay.level_of(ge.from), n - 1);
+      EXPECT_EQ(lay.level_of(ge.to), 0);
+    }
+  }
+}
+
+// Theorem 3: n copies, dilation 1, edge-congestion exactly 2.
+class CccMulti : public ::testing::TestWithParam<int> {};
+
+TEST_P(CccMulti, Theorem3) {
+  const int n = GetParam();
+  const auto emb = ccc_multicopy_embedding(n);
+  EXPECT_EQ(emb.num_copies(), n);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_NO_THROW(emb.verify_or_throw(2));
+  EXPECT_LE(emb.edge_congestion(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, CccMulti, ::testing::Values(2, 4, 8));
+
+TEST(CccMulti, CrossEdgeCongestionAtMostOne) {
+  // Lemmas 5–7: across all copies, no hypercube edge carries two CCC
+  // cross-edges, and dimension-1 edges carry none.
+  const int n = 8;
+  const auto emb = ccc_multicopy_embedding(n);
+  const LevelColumnLayout lay = ccc_layout(n);
+  const Hypercube& q = emb.host();
+  std::map<std::uint64_t, int> cross_count;
+  for (int k = 0; k < n; ++k) {
+    for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+      const Edge& ge = emb.guest().edge(e);
+      if (lay.level_of(ge.from) != lay.level_of(ge.to)) continue;  // straight
+      const auto& p = emb.path(k, e);
+      const std::uint64_t id = q.edge_id(p[0], p[1]);
+      EXPECT_EQ(++cross_count[id], 1) << "copy " << k;
+      EXPECT_NE(q.edge_of_id(id).second, 1) << "cross edge on dimension 1";
+    }
+  }
+}
+
+TEST(CccMulti, StraightEdgeCongestionBound) {
+  // Lemma 8: at most one straight-edge per hypercube edge except dimension
+  // 1, which may carry two.
+  const int n = 8;
+  const auto emb = ccc_multicopy_embedding(n);
+  const LevelColumnLayout lay = ccc_layout(n);
+  const Hypercube& q = emb.host();
+  std::map<std::uint64_t, int> straight_count;
+  for (int k = 0; k < n; ++k) {
+    for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+      const Edge& ge = emb.guest().edge(e);
+      if (lay.level_of(ge.from) == lay.level_of(ge.to)) continue;  // cross
+      const auto& p = emb.path(k, e);
+      const std::uint64_t id = q.edge_id(p[0], p[1]);
+      const int count = ++straight_count[id];
+      if (q.edge_of_id(id).second == 1) {
+        EXPECT_LE(count, 2);
+      } else {
+        EXPECT_LE(count, 1);
+      }
+    }
+  }
+}
+
+TEST(CccMulti, Observation1SignatureOfLevelImages) {
+  // Every CCC vertex at level ℓ maps, under copy k, to a node whose
+  // signature on W^k equals H^k(ℓ).
+  const int n = 4;
+  const auto emb = ccc_multicopy_embedding(n);
+  const LevelColumnLayout lay = ccc_layout(n);
+  for (int k = 0; k < n; ++k) {
+    const auto spec = ccc_multicopy_spec(n, k);
+    for (Node v = 0; v < emb.guest().num_nodes(); ++v) {
+      EXPECT_EQ(signature(emb.host_of(k, v), spec.w),
+                spec.ham[lay.level_of(v)]);
+    }
+  }
+}
+
+TEST(CccMulti, UndirectedCongestionAtMostFour) {
+  const int n = 4;
+  const auto emb = ccc_multicopy_embedding_undirected(n);
+  EXPECT_NO_THROW(emb.verify_or_throw(4));
+}
+
+TEST(ToGraphEmbedding, CopyExtractsFaithfully) {
+  const auto emb = ccc_multicopy_embedding(4);
+  const auto g = to_graph_embedding(emb, 2);
+  EXPECT_NO_THROW(g.verify_or_throw(1));
+  for (Node v = 0; v < emb.guest().num_nodes(); ++v) {
+    EXPECT_EQ(g.host_of(v), emb.host_of(2, v));
+  }
+  EXPECT_THROW(to_graph_embedding(emb, 4), Error);
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,113 @@
+#include "ccc/netmaps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "ccc/ccc_embed.hpp"
+
+namespace hyperpath {
+namespace {
+
+class ButterflyIntoCcc : public ::testing::TestWithParam<int> {};
+
+TEST_P(ButterflyIntoCcc, Dilation2Congestion2) {
+  const int n = GetParam();
+  const auto emb = butterfly_into_ccc(n);
+  EXPECT_NO_THROW(emb.verify_or_throw(/*dil=*/2, /*cong=*/2, /*load=*/1));
+  EXPECT_EQ(emb.dilation(), 2);
+  EXPECT_EQ(emb.congestion(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ButterflyIntoCcc, ::testing::Values(2, 3, 4, 5));
+
+class FftIntoCcc : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftIntoCcc, Dilation2Congestion2Load2) {
+  const int n = GetParam();
+  const auto emb = fft_into_ccc(n);
+  EXPECT_NO_THROW(emb.verify_or_throw(/*dil=*/2, /*cong=*/2, /*load=*/2));
+  EXPECT_EQ(emb.load(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftIntoCcc, ::testing::Values(2, 3, 4, 5));
+
+class CbtIntoButterfly : public ::testing::TestWithParam<int> {};
+
+TEST_P(CbtIntoButterfly, NaturalSubtreeIsPerfect) {
+  const int m = GetParam();
+  const auto emb = cbt_into_butterfly(m);
+  EXPECT_EQ(emb.guest().num_nodes(), pow2(m) - 1);
+  EXPECT_NO_THROW(emb.verify_or_throw(/*dil=*/1, /*cong=*/1, /*load=*/1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CbtIntoButterfly, ::testing::Values(3, 4, 6));
+
+TEST(CbtIntoButterfly, RejectsTooSmall) {
+  EXPECT_THROW(cbt_into_butterfly(2), Error);
+}
+
+TEST(CbtIntoButterfly, LeavesOnDistinctColumns) {
+  // The property Theorem 5 uses: no two CBT leaves share a butterfly node,
+  // and the leaf level occupies level m−1, one leaf per column prefix.
+  const int m = 4;
+  const auto emb = cbt_into_butterfly(m);
+  const LevelColumnLayout lay = butterfly_layout(m);
+  std::set<Node> leaf_hosts;
+  for (Node leaf = static_cast<Node>(pow2(m - 1) - 1);
+       leaf < emb.guest().num_nodes(); ++leaf) {
+    const Node h = emb.host_of(leaf);
+    EXPECT_TRUE(leaf_hosts.insert(h).second);
+    EXPECT_EQ(lay.level_of(h), m - 1);
+  }
+}
+
+TEST(ComposeChain, ButterflyThroughCccIntoHypercube) {
+  // Butterfly → CCC → Q_{n+log n}: dilation ≤ 2, congestion ≤ 4, the O(1)
+  // composition §5.4 promises.
+  const int n = 4;
+  const auto ccc_emb = to_graph_embedding(ccc_multicopy_embedding(n), 0);
+  const auto bfly = butterfly_into_ccc(n);
+  const auto composed = compose(ccc_emb, bfly);
+  EXPECT_NO_THROW(composed.verify_or_throw(/*dil=*/2, /*cong=*/2, /*load=*/1));
+}
+
+TEST(TreeIntoCbt, RandomTreesLoadOneAndValid) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Node n_tree = 40 + static_cast<Node>(rng.below(80));
+    std::vector<Node> parent;
+    const Digraph t = random_binary_tree(n_tree, rng, &parent);
+    const int levels = ceil_log2(n_tree + 1) + 1;
+    const auto emb = tree_into_cbt(t, parent, levels);
+    EXPECT_NO_THROW(emb.verify_or_throw(-1, -1, /*load=*/1));
+    // The heuristic's measured dilation should stay modest: within
+    // 2·levels (a full up-down traversal of the CBT).
+    EXPECT_LE(emb.dilation(), 2 * levels);
+  }
+}
+
+TEST(TreeIntoCbt, PathTreeWorstCase) {
+  // A path (each node one child) still embeds with load 1.
+  const Node n_tree = 63;
+  DigraphBuilder b(n_tree);
+  std::vector<Node> parent(n_tree, kNoNode);
+  for (Node v = 1; v < n_tree; ++v) {
+    parent[v] = v - 1;
+    b.add_undirected(v - 1, v);
+  }
+  const auto emb = tree_into_cbt(std::move(b).build(), parent, 6);
+  EXPECT_NO_THROW(emb.verify_or_throw(-1, -1, 1));
+}
+
+TEST(TreeIntoCbt, RejectsOversizedTree) {
+  Rng rng(3);
+  std::vector<Node> parent;
+  const Digraph t = random_binary_tree(20, rng, &parent);
+  EXPECT_THROW(tree_into_cbt(t, parent, 4), Error);  // capacity 15 < 20
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,41 @@
+#include "ccc/strawmen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccc/ccc_embed.hpp"
+
+namespace hyperpath {
+namespace {
+
+// §5.3: "suppose we choose the same partition of hypercube dimensions for
+// all n copies ... the edge-congestion is at least n/r."
+TEST(StrawMen, SameWindowsCongestsByNOverR) {
+  for (int n : {4, 8}) {
+    const int r = (n == 4) ? 2 : 3;
+    const auto emb = ccc_multicopy_same_windows(n);
+    EXPECT_EQ(emb.num_copies(), n);
+    EXPECT_NO_THROW(emb.verify_or_throw());
+    EXPECT_GE(emb.edge_congestion(), n / r);
+    // And strictly worse than Theorem 3.
+    EXPECT_GT(emb.edge_congestion(),
+              ccc_multicopy_embedding(n).edge_congestion());
+  }
+}
+
+// §5.3: with pairwise-disjoint windows there is a node to which every copy
+// maps a CCC vertex whose cross-edge uses the same dimension.
+TEST(StrawMen, DisjointWindowsCongestOnSharedCrossDimension) {
+  const auto emb = ccc_multicopy_disjoint_windows(8);
+  EXPECT_NO_THROW(emb.verify_or_throw());
+  EXPECT_GE(emb.edge_congestion(), emb.num_copies());
+}
+
+TEST(StrawMen, StillValidEmbeddings) {
+  // The straw men are bad, not broken: every copy is one-to-one with valid
+  // dilation-1 paths.
+  const auto emb = ccc_multicopy_same_windows(4);
+  EXPECT_EQ(emb.dilation(), 1);
+}
+
+}  // namespace
+}  // namespace hyperpath

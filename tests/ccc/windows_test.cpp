@@ -1,0 +1,63 @@
+#include "ccc/windows.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(Windows, SignatureExtractsListedBits) {
+  // Paper's example: node 01001 (bit 0 = 1, bit 3 = 1) over W = {1, 4, 3}:
+  // bits at positions 1, 4, 3 are 0, 0, 1 → signature 0b100 under our
+  // little-endian packing (first window element → result bit 0).
+  const Window w{1, 4, 3};
+  EXPECT_EQ(signature(0b01001, w), 0b100u);
+  EXPECT_EQ(signature(0b11111, w), 0b111u);
+  EXPECT_EQ(signature(0, w), 0u);
+}
+
+TEST(Windows, ApplySignatureInvertsSignature) {
+  const Window w{0, 3, 5, 2};
+  for (Node v : {0u, 0b101101u, 0b111111u, 0b010010u}) {
+    for (Node sig = 0; sig < 16; ++sig) {
+      const Node applied = apply_signature(v, w, sig);
+      EXPECT_EQ(signature(applied, w), sig);
+      // Bits outside the window are untouched.
+      const Node mask = ~(bit(0) | bit(3) | bit(5) | bit(2));
+      EXPECT_EQ(applied & mask, v & mask);
+    }
+  }
+}
+
+TEST(Windows, PrefixBitsMsbFirst) {
+  // 6 = 110 in 3 bits: ρ_1 = 1, ρ_2 = 11, ρ_3 = 110.
+  EXPECT_EQ(prefix_bits(0b110, 0, 3), 0u);
+  EXPECT_EQ(prefix_bits(0b110, 1, 3), 0b1u);
+  EXPECT_EQ(prefix_bits(0b110, 2, 3), 0b11u);
+  EXPECT_EQ(prefix_bits(0b110, 3, 3), 0b110u);
+  EXPECT_THROW(prefix_bits(8, 1, 3), Error);
+}
+
+TEST(Windows, CommonPrefixOfNumbers) {
+  EXPECT_EQ(common_prefix_len(0b1010, 0b1011, 4), 3);
+  EXPECT_EQ(common_prefix_len(0b1010, 0b1010, 4), 4);
+  EXPECT_EQ(common_prefix_len(0b0000, 0b1000, 4), 0);
+  EXPECT_EQ(common_prefix_len(0b0100, 0b0111, 4), 2);
+}
+
+TEST(Windows, CommonPrefixOfWindows) {
+  EXPECT_EQ(common_prefix_len(Window{1, 2, 4}, Window{1, 2, 5}), 2);
+  EXPECT_EQ(common_prefix_len(Window{1}, Window{1, 2}), 1);
+  EXPECT_EQ(common_prefix_len(Window{3}, Window{1}), 0);
+}
+
+TEST(Windows, Disjointness) {
+  EXPECT_TRUE(windows_disjoint(Window{0, 1}, Window{2, 3}));
+  EXPECT_FALSE(windows_disjoint(Window{0, 1}, Window{1, 2}));
+  EXPECT_TRUE(windows_disjoint(Window{}, Window{1}));
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,34 @@
+#include <gtest/gtest.h>
+
+#include "core/cycle_multipath.hpp"
+#include "sim/phase.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(Theorem2Naive, StructurallyValidButCongested) {
+  const int n = 8;
+  const auto naive = theorem2_cycle_embedding_naive(n);
+  // Same shape as the real construction...
+  EXPECT_EQ(naive.width(), 4);
+  EXPECT_EQ(naive.load(), 2);
+  EXPECT_NO_THROW(naive.verify_or_throw(4, 2));
+  // ...but without Lemma 2 the projections collide: congestion and cost
+  // degrade strictly.
+  const auto good = theorem2_cycle_embedding(n);
+  EXPECT_GT(naive.congestion(), good.congestion());
+  EXPECT_GT(measure_phase_cost(naive, 4).makespan,
+            measure_phase_cost(good, 4).makespan);
+}
+
+TEST(Theorem2Naive, CostScalesWithNeighborCollisions) {
+  // All 2k neighbor projections share host edges, so the w-packet cost is
+  // ≈ w + 2 instead of 3.
+  const auto naive = theorem2_cycle_embedding_naive(8);
+  const int cost = measure_phase_cost(naive, 4).makespan;
+  EXPECT_GE(cost, 5);
+  EXPECT_LE(cost, 8);
+}
+
+}  // namespace
+}  // namespace hyperpath

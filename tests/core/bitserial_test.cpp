@@ -1,0 +1,152 @@
+#include "core/bitserial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "core/transform.hpp"
+#include "core/tree_multipath.hpp"
+#include "graph/builders.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(CccRoute, ReachesDestination) {
+  const int n = 4;
+  const LevelColumnLayout lay = ccc_layout(n);
+  const Digraph ccc = ccc_directed(n);
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Node s = static_cast<Node>(rng.below(lay.num_nodes()));
+    const Node d = static_cast<Node>(rng.below(lay.num_nodes()));
+    const auto path = ccc_route(n, s, d);
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), d);
+    EXPECT_LE(path.size(), 3u * n + 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(ccc.has_edge(path[i], path[i + 1]))
+          << "hop " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(CccRoute, TrivialRoute) {
+  const auto path = ccc_route(4, 7, 7);
+  EXPECT_EQ(path, (std::vector<Node>{7}));
+}
+
+TEST(CccSplit, WormsAreValidAndSplit) {
+  const int stages = 4;
+  const auto emb = ccc_multicopy_embedding(stages);
+  Rng rng(12);
+  const auto pattern = random_permutation_pattern(emb.host().dims(), rng);
+  const int flits = 64;
+  const auto worms = ccc_split_worms(emb, pattern, flits);
+  // One worm per copy per non-trivial source.
+  std::size_t nontrivial = 0;
+  for (Node v = 0; v < pattern.size(); ++v) nontrivial += (pattern[v] != v);
+  EXPECT_EQ(worms.size(), nontrivial * stages);
+  for (const auto& w : worms) {
+    EXPECT_EQ(w.flits, flits / stages);
+    EXPECT_TRUE(is_valid_path(emb.host(), w.route));
+  }
+}
+
+TEST(CccSplit, CompletesFasterThanSingleCopy) {
+  const int stages = 4;
+  const auto emb = ccc_multicopy_embedding(stages);
+  Rng rng(13);
+  const auto pattern = random_permutation_pattern(emb.host().dims(), rng);
+  const int flits = 128;
+
+  WormholeSim sim(emb.host().dims());
+  const auto split = sim.run(ccc_split_worms(emb, pattern, flits));
+  const auto single = sim.run(ccc_single_copy_worms(emb, 0, pattern, flits));
+  // Splitting into 4 pieces of 32 flits each must beat 128-flit messages
+  // on one copy.
+  EXPECT_LT(split.makespan, single.makespan);
+}
+
+TEST(EcubeWorms, BaselineValid) {
+  const int dims = 5;
+  Rng rng(14);
+  const auto pattern = random_permutation_pattern(dims, rng);
+  const auto worms = ecube_worms(dims, pattern, 16);
+  const Hypercube q(dims);
+  for (const auto& w : worms) {
+    EXPECT_TRUE(is_valid_path(q, w.route));
+    EXPECT_EQ(w.flits, 16);
+  }
+}
+
+TEST(ButterflyRoute, ReachesDestination) {
+  const int m = 4;
+  const Digraph bf = butterfly_directed(m);
+  const LevelColumnLayout lay = butterfly_layout(m);
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Node s = static_cast<Node>(rng.below(lay.num_nodes()));
+    const Node d = static_cast<Node>(rng.below(lay.num_nodes()));
+    const auto path = butterfly_route(m, s, d);
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), d);
+    EXPECT_LE(path.size(), 2u * m);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(bf.has_edge(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST(XTwoPhase, RoutesStayInXAndSplit) {
+  const int m = 4;
+  const int n = 6;
+  const auto copies = repeat_copies(butterfly_multicopy_embedding(m), n);
+  const auto x = theorem4_transform(copies);
+  Rng rng(17);
+  // Partial permutation over a sample of X vertices.
+  Pattern pattern(x.guest().num_nodes());
+  for (Node v = 0; v < pattern.size(); ++v) pattern[v] = v;
+  std::vector<Node> sample;
+  for (int i = 0; i < 16; ++i) {
+    sample.push_back(static_cast<Node>(rng.below(pattern.size())));
+  }
+  for (std::size_t i = 0; i + 1 < sample.size(); i += 2) {
+    pattern[sample[i]] = sample[i + 1];
+  }
+  const auto worms = x_two_phase_worms(m, x, copies, pattern, 60);
+  EXPECT_FALSE(worms.empty());
+  for (const auto& w : worms) {
+    EXPECT_TRUE(is_valid_path(x.host(), w.route));
+    EXPECT_EQ(w.flits, 10);  // 60 flits over n = 6 pieces
+  }
+  // Each message produced n worms with matching endpoints.
+  EXPECT_EQ(worms.size() % n, 0u);
+  WormholeSim sim(x.host().dims());
+  EXPECT_GT(sim.run(worms).makespan, 0);
+}
+
+TEST(XTwoPhase, RouteEndpoints) {
+  const int m = 4;
+  const int n = 6;
+  const auto copies = repeat_copies(butterfly_multicopy_embedding(m), n);
+  Rng rng(23);
+  const Node nx = static_cast<Node>(pow2(2 * n));
+  for (int trial = 0; trial < 20; ++trial) {
+    const Node s = static_cast<Node>(rng.below(nx));
+    const Node d = static_cast<Node>(rng.below(nx));
+    const auto r = x_two_phase_route(m, copies, s, d);
+    EXPECT_EQ(r.front(), s);
+    EXPECT_EQ(r.back(), d);
+  }
+}
+
+TEST(CccSplit, RejectsTinyMessages) {
+  const auto emb = ccc_multicopy_embedding(4);
+  Pattern pattern(emb.host().num_nodes(), 0);
+  for (Node v = 0; v < pattern.size(); ++v) pattern[v] = v;
+  EXPECT_THROW(ccc_split_worms(emb, pattern, 2), Error);
+}
+
+}  // namespace
+}  // namespace hyperpath

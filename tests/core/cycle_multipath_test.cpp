@@ -1,0 +1,141 @@
+#include "core/cycle_multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "core/lower_bounds.hpp"
+#include "sim/phase.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(Support, ReportsSupportedDimensions) {
+  for (int n : {4, 5, 6, 7, 8, 9, 10, 11}) {
+    EXPECT_TRUE(cycle_multipath_supported(n)) << n;
+  }
+  for (int n : {1, 2, 3, 12, 13, 14, 15}) {
+    EXPECT_FALSE(cycle_multipath_supported(n)) << n;
+  }
+  EXPECT_TRUE(cycle_multipath_supported(16));
+}
+
+// Theorem 1 across all supported small n.
+class Theorem1 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem1, StructureMatchesTheorem) {
+  const int n = GetParam();
+  const int k = n / 4;
+  const auto emb = theorem1_cycle_embedding(n);
+  EXPECT_EQ(emb.guest().num_nodes(), pow2(n));
+  EXPECT_EQ(emb.load(), 1);
+  EXPECT_EQ(emb.width(), 2 * k + 1);
+  EXPECT_GE(emb.width(), n / 2);  // the theorem's stated width ⌊n/2⌋
+  EXPECT_EQ(emb.dilation(), 3);
+  // verify_or_throw re-checks walk validity, endpoints, disjoint bundles.
+  EXPECT_NO_THROW(emb.verify_or_throw(2 * k + 1, 1));
+}
+
+TEST_P(Theorem1, MeasuredHalfNPacketCostIsThree) {
+  const int n = GetParam();
+  const auto emb = theorem1_cycle_embedding(n);
+  const auto r = measure_phase_cost(emb, n / 2);
+  EXPECT_EQ(r.makespan, 3) << "⌊n/2⌋-packet cost";
+}
+
+TEST_P(Theorem1, ScheduledTwoKPlusTwoPacketCostIsThree) {
+  // The remark after Theorem 1: (2k+2)-packet cost 3, using the direct
+  // path at steps 1 and 3.
+  const int n = GetParam();
+  const int k = n / 4;
+  const auto emb = theorem1_cycle_embedding(n);
+  StoreForwardSim sim(n);
+  const auto r = sim.run(theorem1_schedule_packets(emb, 2 * k + 2));
+  EXPECT_EQ(r.makespan, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(SupportedDims, Theorem1,
+                         ::testing::Values(4, 5, 6, 7, 8, 9, 10, 11));
+
+TEST(Theorem1, CongestionIsBounded) {
+  // A directed host edge carries at most 3 paths, and when it does they are
+  // one first edge, one middle edge, and one last edge — scheduled at steps
+  // 1, 2, 3 respectively, which is why the measured cost stays 3.
+  const auto emb = theorem1_cycle_embedding(8);
+  EXPECT_LE(emb.congestion(), 3);
+}
+
+TEST(Theorem1, EdgeSlotSlackNonNegative) {
+  // Lemma 3's counting argument: path-edges must fit within 3 steps of
+  // link capacity.
+  const auto emb = theorem1_cycle_embedding(8);
+  EXPECT_GE(edge_slot_slack(emb, 3), 0);
+}
+
+TEST(Theorem1, RejectsUnsupported) {
+  EXPECT_THROW(theorem1_cycle_embedding(3), Error);
+  EXPECT_THROW(theorem1_cycle_embedding(12), Error);
+}
+
+// Theorem 2 across supported n.
+class Theorem2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem2, StructureMatchesTheorem) {
+  const int n = GetParam();
+  const int k = n / 4;
+  const auto emb = theorem2_cycle_embedding(n);
+  EXPECT_EQ(emb.guest().num_nodes(), pow2(n + 1));
+  EXPECT_EQ(emb.load(), 2);
+  EXPECT_EQ(emb.width(), 2 * k);
+  EXPECT_EQ(emb.dilation(), 3);
+  EXPECT_NO_THROW(emb.verify_or_throw(2 * k, 2));
+}
+
+TEST_P(Theorem2, MeasuredWidthPacketCostIsThree) {
+  const int n = GetParam();
+  const int k = n / 4;
+  const auto emb = theorem2_cycle_embedding(n);
+  const auto r = measure_phase_cost(emb, 2 * k);
+  EXPECT_EQ(r.makespan, 3) << "w(n)-packet cost";
+}
+
+INSTANTIATE_TEST_SUITE_P(SupportedDims, Theorem2,
+                         ::testing::Values(4, 5, 6, 7, 8, 9, 10, 11));
+
+TEST(Theorem2, FullLinkUtilizationWhenNDivisibleBy4) {
+  // "When n ≡ 0 (mod 4) all the hypercube edges are in use during each of
+  // the 3 steps."
+  const auto emb = theorem2_cycle_embedding(8);
+  const auto r = measure_phase_cost(emb, 2 * (8 / 4));
+  ASSERT_EQ(r.makespan, 3);
+  for (double u : r.utilization) EXPECT_DOUBLE_EQ(u, 1.0);
+}
+
+TEST(Theorem2, WidthAtLemma3Bound) {
+  // Lemma 3: no cost-3 embedding of the 2^{n+1}-cycle has p > ⌊n/2⌋; for
+  // n ≡ 0 (mod 4) Theorem 2 achieves exactly p = 2k = ⌊n/2⌋.
+  const int n = 8;
+  const auto emb = theorem2_cycle_embedding(n);
+  EXPECT_EQ(emb.width(), lemma3_max_cost3_packets(n));
+}
+
+TEST(Lemma3, Statements) {
+  EXPECT_EQ(lemma3_min_dilation(1), 1);
+  EXPECT_EQ(lemma3_min_dilation(2), 3);
+  EXPECT_EQ(lemma3_min_dilation(5), 3);
+  EXPECT_EQ(lemma3_max_cost3_packets(8), 4);
+  EXPECT_EQ(lemma3_max_cost3_packets(9), 4);
+  EXPECT_THROW(lemma3_min_dilation(0), Error);
+}
+
+TEST(Lemma3, Theorem1SitsWithinThreeStepCapacity) {
+  for (int n : {4, 6, 8}) {
+    const auto emb = theorem1_cycle_embedding(n);
+    EXPECT_GE(edge_slot_slack(emb, 3), 0) << n;
+    // One step of capacity is NOT enough for the widened embedding.
+    EXPECT_LT(edge_slot_slack(emb, 1), 0) << n;
+  }
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,93 @@
+#include "core/largecopy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hpp"
+#include "sim/phase.hpp"
+
+namespace hyperpath {
+namespace {
+
+class LargeCycle : public ::testing::TestWithParam<int> {};
+
+TEST_P(LargeCycle, Corollary3) {
+  const int n = GetParam();
+  const int copies = 2 * (n / 2);
+  const auto emb = largecopy_directed_cycle(n);
+  EXPECT_EQ(emb.guest().num_nodes(), copies * pow2(n));
+  EXPECT_EQ(emb.load(), copies);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_EQ(emb.congestion(), 1);
+  EXPECT_NO_THROW(emb.verify_or_throw(1, copies));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCubes, LargeCycle,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(LargeCycle, EvenCubeUsesEveryDirectedEdgeExactlyOnce) {
+  const auto emb = largecopy_directed_cycle(6);
+  for (auto c : emb.congestion_per_link()) EXPECT_EQ(c, 1u);
+}
+
+TEST(LargeCycle, OnePacketPhaseCostOneAtFullUtilization) {
+  // No forwarding, all links busy: the §8.2 trade-off (load n instead of
+  // length-3 paths).
+  const auto emb = largecopy_directed_cycle(6);
+  const auto r = measure_phase_cost(emb, 1);
+  EXPECT_EQ(r.makespan, 1);
+  EXPECT_DOUBLE_EQ(r.utilization[0], 1.0);
+}
+
+class UndirectedLargeCycle : public ::testing::TestWithParam<int> {};
+
+TEST_P(UndirectedLargeCycle, Corollary3UndirectedHalf) {
+  const int n = GetParam();
+  const auto emb = largecopy_undirected_cycle(n);
+  EXPECT_EQ(emb.guest().num_nodes(), (n / 2) * pow2(n));
+  EXPECT_EQ(emb.load(), n / 2);
+  EXPECT_EQ(emb.dilation(), 1);
+  // Construction itself asserts each undirected link is used exactly once.
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenCubes, UndirectedLargeCycle,
+                         ::testing::Values(2, 4, 6, 8));
+
+TEST(LargeCopyCcc, Lemma9Ccc) {
+  const int n = 4;
+  const auto emb = largecopy_ccc(n);
+  EXPECT_EQ(emb.guest().num_nodes(), n * pow2(n));
+  EXPECT_EQ(emb.load(), n);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_EQ(emb.congestion(), 1);
+  EXPECT_NO_THROW(emb.verify_or_throw(1, n));
+}
+
+TEST(LargeCopyCcc, StraightEdgesAreInternal) {
+  const auto emb = largecopy_ccc(3);
+  std::size_t internal = 0;
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    internal += (emb.paths(e)[0].size() == 1);
+  }
+  EXPECT_EQ(internal, 3u * 8u);  // one straight edge per CCC vertex
+}
+
+TEST(LargeCopyButterfly, Lemma9Butterfly) {
+  const int n = 4;
+  const auto emb = largecopy_butterfly(n);
+  EXPECT_EQ(emb.load(), n);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_LE(emb.congestion(), 2);
+  EXPECT_NO_THROW(emb.verify_or_throw(1, n));
+}
+
+TEST(LargeCopyFft, Lemma9Fft) {
+  const int n = 4;
+  const auto emb = largecopy_fft(n);
+  EXPECT_EQ(emb.guest().num_nodes(), (n + 1) * pow2(n));
+  EXPECT_EQ(emb.load(), n + 1);
+  EXPECT_LE(emb.congestion(), 2);
+  EXPECT_NO_THROW(emb.verify_or_throw(1, n + 1));
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,98 @@
+#include "core/tree_multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "core/transform.hpp"
+#include "graph/builders.hpp"
+#include "sim/phase.hpp"
+
+namespace hyperpath {
+namespace {
+
+class ButterflyMultiCopy : public ::testing::TestWithParam<int> {};
+
+TEST_P(ButterflyMultiCopy, MCopiesWithO1Cost) {
+  const int m = GetParam();
+  const auto emb = butterfly_multicopy_embedding(m);
+  EXPECT_EQ(emb.num_copies(), m);
+  EXPECT_EQ(emb.guest().num_nodes(),
+            static_cast<Node>(m) * static_cast<Node>(pow2(m)));
+  // Guest exactly fills the host: one-to-one copies.
+  EXPECT_EQ(emb.guest().num_nodes(), emb.host().num_nodes());
+  EXPECT_LE(emb.dilation(), 2);
+  // Congestion ≤ 8: undirected-CCC congestion 4 × butterfly-in-CCC
+  // congestion 2 — O(1), as Theorem 5 needs.
+  EXPECT_NO_THROW(emb.verify_or_throw(8));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, ButterflyMultiCopy,
+                         ::testing::Values(4, 8));
+
+TEST(ButterflyMultiCopy, RejectsDegenerateM) {
+  EXPECT_THROW(butterfly_multicopy_embedding(2), Error);
+  EXPECT_THROW(butterfly_multicopy_embedding(6), Error);
+}
+
+TEST(Theorem5, CbtIntoXIsDilation1) {
+  const int m = 4;
+  const int n = m + 2;  // m + log m
+  const auto copies = repeat_copies(butterfly_multicopy_embedding(m), n);
+  const auto x = theorem4_transform(copies);
+  const auto cbt = cbt_into_x_butterfly(m, x.guest(), copies);
+  EXPECT_EQ(cbt.guest().num_nodes(), pow2(2 * m) - 1);
+  EXPECT_NO_THROW(cbt.verify_or_throw(/*dil=*/1, /*cong=*/-1, /*load=*/3));
+}
+
+class Theorem5 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem5, WidthNAndConstantCost) {
+  const int m = GetParam();
+  const int n = m + floor_log2(m);
+  const auto emb = theorem5_cbt_embedding(m);
+  EXPECT_EQ(emb.guest().num_nodes(), pow2(2 * m) - 1);
+  EXPECT_EQ(emb.host().dims(), 2 * n);
+  EXPECT_EQ(emb.width(), n);
+  EXPECT_LE(emb.load(), 3);  // the O(1) load Theorem 5 claims
+  EXPECT_LE(emb.dilation(), 4);  // copy dilation ≤ 2 plus the two crossings
+  EXPECT_NO_THROW(emb.verify_or_throw(n, /*expected_load=*/3));
+
+  // n-packet cost c + 2δ: c is the multicopy cost (≤ 8 congestion here
+  // plus the moment-mod-n collisions of non-power-of-two n), δ = 4 for the
+  // symmetric butterfly.  O(1): independent of the tree size.
+  const auto r = measure_phase_cost(emb, n);
+  EXPECT_LE(r.makespan, 8 + 2 * 4 + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, Theorem5, ::testing::Values(4));
+
+TEST(ArbitraryTree, RandomTreesEmbedWithWidthN) {
+  Rng rng(77);
+  const int m = 4;
+  const int n = m + 2;
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<Node> parent;
+    const Node size = 8 + static_cast<Node>(rng.below(7));
+    const Digraph tree = random_binary_tree(size, rng, &parent);
+    const auto emb = arbitrary_tree_multipath(tree, parent, m);
+    EXPECT_EQ(emb.guest().num_nodes(), size);
+    // Multi-hop composition thins bundles to a maximal edge-disjoint
+    // subset, so the achieved width lies in [1, n] (n when the tree edges
+    // compose cleanly; see compose_multipath).
+    EXPECT_GE(emb.width(), 1);
+    EXPECT_LE(emb.width(), n);
+    EXPECT_NO_THROW(emb.verify_or_throw());
+  }
+}
+
+TEST(ArbitraryTree, RejectsOversized) {
+  Rng rng(1);
+  std::vector<Node> parent;
+  const Digraph tree = random_binary_tree(300, rng, &parent);
+  EXPECT_THROW(arbitrary_tree_multipath(tree, parent, 4), Error);  // cap 255
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,94 @@
+#include "embed/classical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "base/gray.hpp"
+
+namespace hyperpath {
+namespace {
+
+class GrayCycle : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrayCycle, IsDilation1Congestion1Load1) {
+  const int n = GetParam();
+  const auto emb = gray_code_cycle_embedding(n);
+  EXPECT_EQ(emb.guest().num_nodes(), pow2(n));
+  EXPECT_EQ(emb.load(), 1);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_EQ(emb.width(), 1);
+  EXPECT_EQ(emb.congestion(), 1);
+  EXPECT_NO_THROW(emb.verify_or_throw(1, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCubes, GrayCycle,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10));
+
+TEST(GrayCycle, UsesOnlyOneLinkPerNode) {
+  // Of the n outgoing links of each node, exactly one is used — the waste
+  // Section 2 describes.
+  const auto emb = gray_code_cycle_embedding(5);
+  const auto cong = emb.congestion_per_link();
+  const Hypercube& q = emb.host();
+  for (Node v = 0; v < q.num_nodes(); ++v) {
+    int used = 0;
+    for (Dim d = 0; d < q.dims(); ++d) used += cong[q.edge_id(v, d)] > 0;
+    EXPECT_EQ(used, 1);
+  }
+}
+
+TEST(GrayGrid, TwoAxisTorus) {
+  const GridSpec spec{{8, 8}, true};
+  const auto emb = gray_code_grid_embedding(spec);
+  EXPECT_EQ(emb.host().dims(), 6);
+  EXPECT_EQ(emb.load(), 1);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_NO_THROW(emb.verify_or_throw(1, 1));
+}
+
+TEST(GrayGrid, ThreeAxisMixedSides) {
+  const GridSpec spec{{4, 2, 8}, false};
+  const auto emb = gray_code_grid_embedding(spec);
+  EXPECT_EQ(emb.host().dims(), 2 + 1 + 3);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_NO_THROW(emb.verify_or_throw(1, 1));
+}
+
+TEST(GrayGrid, RejectsNonPowerOfTwoSides) {
+  EXPECT_THROW(gray_code_grid_embedding(GridSpec{{5, 8}, false}), Error);
+}
+
+TEST(BinomialTree, SpansWithDilation1) {
+  const auto emb = spanning_binomial_tree_embedding(5);
+  EXPECT_EQ(emb.guest().num_nodes(), 32u);
+  EXPECT_EQ(emb.guest().num_edges(), 2u * 31u);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_EQ(emb.load(), 1);
+  EXPECT_NO_THROW(emb.verify_or_throw(1, 1));
+}
+
+// Lemma 1 as a KCopyEmbedding: n (even) or n−1 (odd) dilation-1 copies with
+// joint edge-congestion 1.
+class MultiCopyCycles : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiCopyCycles, Lemma1Holds) {
+  const int n = GetParam();
+  const auto emb = multicopy_directed_cycles(n);
+  EXPECT_EQ(emb.num_copies(), (n % 2 == 0) ? n : n - 1);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_EQ(emb.edge_congestion(), 1);
+  EXPECT_NO_THROW(emb.verify_or_throw(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCubes, MultiCopyCycles,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(MultiCopyCycles, EvenCubeSaturatesAllLinks) {
+  // For even n, congestion is exactly 1 on *every* directed link.
+  const auto emb = multicopy_directed_cycles(6);
+  for (auto c : emb.congestion_per_link()) EXPECT_EQ(c, 1u);
+}
+
+}  // namespace
+}  // namespace hyperpath

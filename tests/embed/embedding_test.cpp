@@ -1,0 +1,124 @@
+#include "embed/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "graph/builders.hpp"
+
+namespace hyperpath {
+namespace {
+
+// A hand-built width-2 embedding of the directed 2-cycle 0↔1 into Q_2:
+// η(0) = 00, η(1) = 11; each edge gets the two disjoint length-2 paths.
+MultiPathEmbedding tiny_width2() {
+  DigraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  MultiPathEmbedding emb(std::move(b).build(), 2);
+  emb.set_node_map({0b00, 0b11});
+  const std::size_t e01 = emb.guest().find_edge(0, 1);
+  const std::size_t e10 = emb.guest().find_edge(1, 0);
+  emb.set_paths(e01, {{0b00, 0b01, 0b11}, {0b00, 0b10, 0b11}});
+  emb.set_paths(e10, {{0b11, 0b01, 0b00}, {0b11, 0b10, 0b00}});
+  return emb;
+}
+
+TEST(MultiPathEmbedding, Metrics) {
+  const auto emb = tiny_width2();
+  EXPECT_EQ(emb.load(), 1);
+  EXPECT_EQ(emb.dilation(), 2);
+  EXPECT_EQ(emb.width(), 2);
+  EXPECT_EQ(emb.congestion(), 1);
+  EXPECT_EQ(emb.expansion(), 2.0);  // 4 host nodes / 2 guest nodes → next pow2 = 2
+  EXPECT_NO_THROW(emb.verify_or_throw(2, 1));
+}
+
+TEST(MultiPathEmbedding, CongestionPerLinkCounts) {
+  const auto emb = tiny_width2();
+  const auto cong = emb.congestion_per_link();
+  std::uint64_t used = 0;
+  for (auto c : cong) used += c;
+  EXPECT_EQ(used, 8u);  // 4 paths × 2 hops
+}
+
+TEST(MultiPathEmbedding, VerifyCatchesWrongEndpoint) {
+  auto emb = tiny_width2();
+  const std::size_t e01 = emb.guest().find_edge(0, 1);
+  emb.set_paths(e01, {{0b00, 0b01}});  // ends at 01 ≠ η(1)
+  EXPECT_THROW(emb.verify_or_throw(), Error);
+}
+
+TEST(MultiPathEmbedding, VerifyCatchesNonDisjointBundle) {
+  auto emb = tiny_width2();
+  const std::size_t e01 = emb.guest().find_edge(0, 1);
+  emb.set_paths(e01, {{0b00, 0b01, 0b11}, {0b00, 0b01, 0b11}});
+  EXPECT_THROW(emb.verify_or_throw(), Error);
+}
+
+TEST(MultiPathEmbedding, VerifyCatchesInvalidWalk) {
+  auto emb = tiny_width2();
+  const std::size_t e01 = emb.guest().find_edge(0, 1);
+  emb.set_paths(e01, {{0b00, 0b11}});  // 2-bit hop
+  EXPECT_THROW(emb.verify_or_throw(), Error);
+}
+
+TEST(MultiPathEmbedding, VerifyCatchesExcessLoad) {
+  DigraphBuilder b(2);
+  b.add_edge(0, 1);
+  MultiPathEmbedding emb(std::move(b).build(), 2);
+  emb.set_node_map({0b00, 0b00});  // two guests on one host, but guest fits
+  EXPECT_THROW(emb.verify_or_throw(), Error);
+}
+
+TEST(MultiPathEmbedding, LoadTwoAllowedWhenRequested) {
+  DigraphBuilder b(2);
+  b.add_edge(0, 1);
+  MultiPathEmbedding emb(std::move(b).build(), 2);
+  emb.set_node_map({0b00, 0b00});
+  // With expected_load = 2 the check passes structurally except that the
+  // edge's path must loop from 00 to 00 — impossible as a simple edge walk,
+  // so use a distinct pair instead.
+  emb.set_node_map({0b00, 0b01});
+  emb.set_paths(0, {{0b00, 0b01}});
+  EXPECT_NO_THROW(emb.verify_or_throw(-1, 2));
+}
+
+TEST(MultiPathEmbedding, WidthIsMinimumBundleSize) {
+  auto emb = tiny_width2();
+  const std::size_t e10 = emb.guest().find_edge(1, 0);
+  emb.set_paths(e10, {{0b11, 0b01, 0b00}});
+  EXPECT_EQ(emb.width(), 1);
+}
+
+TEST(KCopyEmbedding, TwoCopiesCongestionSums) {
+  // Guest: directed 4-cycle.  Two copies along the two orientations of the
+  // same host cycle share links in opposite directions only, so congestion
+  // stays 1; a duplicated copy forces congestion 2.
+  const Digraph guest = directed_cycle(4);
+  KCopyEmbedding emb(guest, 2);
+  const std::vector<Node> eta{0b00, 0b01, 0b11, 0b10};
+  std::vector<HostPath> paths(4);
+  for (std::size_t e = 0; e < 4; ++e) {
+    const Edge& ge = guest.edge(e);
+    paths[e] = {eta[ge.from], eta[ge.to]};
+  }
+  emb.add_copy(eta, paths);
+  emb.add_copy(eta, paths);  // identical copy: every link doubly used
+  EXPECT_EQ(emb.num_copies(), 2);
+  EXPECT_EQ(emb.dilation(), 1);
+  EXPECT_EQ(emb.edge_congestion(), 2);
+  EXPECT_NO_THROW(emb.verify_or_throw(2));
+  EXPECT_THROW(emb.verify_or_throw(1), Error);
+}
+
+TEST(KCopyEmbedding, VerifyCatchesNonInjectiveCopy) {
+  const Digraph guest = directed_cycle(4);
+  KCopyEmbedding emb(guest, 2);
+  std::vector<Node> eta{0, 0, 3, 2};
+  std::vector<HostPath> paths(4, HostPath{0, 1});
+  emb.add_copy(eta, paths);
+  EXPECT_THROW(emb.verify_or_throw(), Error);
+}
+
+}  // namespace
+}  // namespace hyperpath

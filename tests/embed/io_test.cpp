@@ -1,0 +1,80 @@
+#include "embed/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/error.hpp"
+#include "core/cycle_multipath.hpp"
+#include "core/largecopy.hpp"
+#include "embed/classical.hpp"
+
+namespace hyperpath {
+namespace {
+
+void expect_equal(const MultiPathEmbedding& a, const MultiPathEmbedding& b) {
+  ASSERT_EQ(a.guest(), b.guest());
+  ASSERT_EQ(a.host().dims(), b.host().dims());
+  for (Node v = 0; v < a.guest().num_nodes(); ++v) {
+    ASSERT_EQ(a.host_of(v), b.host_of(v));
+  }
+  for (std::size_t e = 0; e < a.guest().num_edges(); ++e) {
+    const auto pa = a.paths(e);
+    const auto pb = b.paths(e);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(EmbeddingIo, RoundTripGrayCycle) {
+  const auto emb = gray_code_cycle_embedding(5);
+  std::stringstream ss;
+  save_multipath(ss, emb);
+  expect_equal(emb, load_multipath(ss));
+}
+
+TEST(EmbeddingIo, RoundTripTheorem1) {
+  const auto emb = theorem1_cycle_embedding(6);
+  std::stringstream ss;
+  save_multipath(ss, emb);
+  expect_equal(emb, load_multipath(ss));
+}
+
+TEST(EmbeddingIo, RoundTripLargeCopyNeedsLoadBound) {
+  const auto emb = largecopy_directed_cycle(4);
+  std::stringstream ss;
+  save_multipath(ss, emb);
+  // Default load rule rejects many-to-one...
+  std::stringstream ss2(ss.str());
+  EXPECT_NO_THROW(load_multipath(ss2, /*expected_load=*/4));
+}
+
+TEST(EmbeddingIo, RejectsWrongMagic) {
+  std::stringstream ss("not-a-hyperpath-file v1\n");
+  EXPECT_THROW(load_multipath(ss), Error);
+}
+
+TEST(EmbeddingIo, RejectsTruncation) {
+  const auto emb = gray_code_cycle_embedding(4);
+  std::stringstream ss;
+  save_multipath(ss, emb);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_multipath(cut), Error);
+}
+
+TEST(EmbeddingIo, RejectsTamperedPath) {
+  const auto emb = gray_code_cycle_embedding(4);
+  std::stringstream ss;
+  save_multipath(ss, emb);
+  std::string text = ss.str();
+  // Corrupt the first path's target node to a non-adjacent value.
+  const auto pos = text.find("path 2 ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 7] = '9';  // first node of the path becomes bogus
+  std::stringstream bad(text);
+  EXPECT_THROW(load_multipath(bad), Error);
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,236 @@
+#include "graph/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+namespace {
+
+// Breadth-first reachability count treating edges as undirected.
+std::size_t undirected_component_size(const Digraph& g, Node start) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::queue<Node> q;
+  q.push(start);
+  seen[start] = true;
+  std::size_t count = 0;
+  // Build symmetric reachability via forward edges only; all our symmetric
+  // builders add both directions, so forward traversal suffices there.  For
+  // directed graphs this measures forward reachability.
+  while (!q.empty()) {
+    const Node u = q.front();
+    q.pop();
+    ++count;
+    for (Node v : g.out_neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(Builders, DirectedCycle) {
+  const Digraph g = directed_cycle(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  for (Node v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+    EXPECT_EQ(g.in_degree(v), 1u);
+    EXPECT_TRUE(g.has_edge(v, (v + 1) % 5));
+  }
+}
+
+TEST(Builders, SymmetricCycle) {
+  const Digraph g = symmetric_cycle(6);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (Node v = 0; v < 6; ++v) EXPECT_EQ(g.out_degree(v), 2u);
+}
+
+TEST(Builders, Paths) {
+  const Digraph d = directed_path(4);
+  EXPECT_EQ(d.num_edges(), 3u);
+  EXPECT_EQ(d.out_degree(3), 0u);
+  const Digraph s = symmetric_path(4);
+  EXPECT_EQ(s.num_edges(), 6u);
+  EXPECT_EQ(s.out_degree(0), 1u);
+  EXPECT_EQ(s.out_degree(1), 2u);
+}
+
+TEST(GridSpec, Indexing) {
+  const GridSpec spec{{3, 4, 5}, false};
+  EXPECT_EQ(spec.num_nodes(), 60u);
+  EXPECT_EQ(spec.num_axes(), 3);
+  for (Node v = 0; v < 60; ++v) {
+    EXPECT_EQ(spec.index(spec.coords(v)), v);
+  }
+  EXPECT_EQ(spec.index({0, 0, 0}), 0u);
+  EXPECT_EQ(spec.index({0, 0, 1}), 1u);
+  EXPECT_EQ(spec.index({1, 0, 0}), 20u);
+}
+
+TEST(Builders, GridDegrees) {
+  const Digraph g = grid_graph(GridSpec{{3, 3}, false});
+  // Corner degree 2, edge degree 3, center degree 4 (each counted as
+  // out-degree since the graph is symmetric).
+  EXPECT_EQ(g.out_degree(0), 2u);  // (0,0)
+  EXPECT_EQ(g.out_degree(1), 3u);  // (0,1)
+  EXPECT_EQ(g.out_degree(4), 4u);  // (1,1)
+  EXPECT_EQ(g.num_edges(), 2u * 12u);
+}
+
+TEST(Builders, TorusIsRegular) {
+  const Digraph g = grid_graph(GridSpec{{4, 4}, true});
+  for (Node v = 0; v < 16; ++v) EXPECT_EQ(g.out_degree(v), 4u);
+  EXPECT_EQ(g.num_edges(), 64u);
+}
+
+TEST(Builders, TorusSideTwoHasNoDoubleEdge) {
+  // A wrap edge on a side-2 axis would duplicate the +1 edge; the builder
+  // must emit a single undirected pair there.
+  const Digraph g = grid_graph(GridSpec{{2, 4}, true});
+  for (Node v = 0; v < 8; ++v) EXPECT_EQ(g.out_degree(v), 3u);
+}
+
+TEST(Builders, DirectedGridHalvesTheEdges) {
+  const GridSpec spec{{4, 4}, true};
+  const Digraph sym = grid_graph(spec);
+  const Digraph dir = grid_graph_directed(spec);
+  EXPECT_EQ(dir.num_edges() * 2, sym.num_edges());
+  // Every directed edge goes "+1" (or wraps side−1 → 0) along one axis.
+  for (const Edge& e : dir.edges()) {
+    const auto cf = spec.coords(e.from);
+    const auto ct = spec.coords(e.to);
+    int changed = 0;
+    for (int a = 0; a < spec.num_axes(); ++a) {
+      if (cf[a] == ct[a]) continue;
+      ++changed;
+      EXPECT_TRUE(ct[a] == cf[a] + 1 ||
+                  (cf[a] == spec.sides[a] - 1 && ct[a] == 0));
+    }
+    EXPECT_EQ(changed, 1);
+  }
+}
+
+TEST(Builders, DirectedTorusIsRegular) {
+  const Digraph dir = grid_graph_directed(GridSpec{{4, 8}, true});
+  for (Node v = 0; v < dir.num_nodes(); ++v) {
+    EXPECT_EQ(dir.out_degree(v), 2u);
+    EXPECT_EQ(dir.in_degree(v), 2u);
+  }
+}
+
+TEST(Builders, GridConnected) {
+  const Digraph g = grid_graph(GridSpec{{5, 7}, false});
+  EXPECT_EQ(undirected_component_size(g, 0), 35u);
+}
+
+TEST(Builders, CompleteBinaryTree) {
+  const Digraph g = complete_binary_tree(4);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_EQ(g.num_edges(), 2u * 14u);
+  EXPECT_EQ(g.out_degree(0), 2u);   // root
+  EXPECT_EQ(g.out_degree(1), 3u);   // internal
+  EXPECT_EQ(g.out_degree(7), 1u);   // leaf
+  EXPECT_EQ(undirected_component_size(g, 0), 15u);
+}
+
+TEST(Builders, RandomBinaryTreeShape) {
+  Rng rng(123);
+  std::vector<Node> parent;
+  const Digraph g = random_binary_tree(50, rng, &parent);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_EQ(g.num_edges(), 2u * 49u);
+  EXPECT_EQ(parent[0], kNoNode);
+  std::vector<int> child_count(50, 0);
+  for (Node v = 1; v < 50; ++v) {
+    ASSERT_LT(parent[v], v);  // parents precede children in creation order
+    ++child_count[parent[v]];
+  }
+  for (int c : child_count) EXPECT_LE(c, 2);
+  EXPECT_EQ(undirected_component_size(g, 0), 50u);
+}
+
+TEST(Builders, CccStructure) {
+  const int n = 3;
+  const Digraph g = ccc_directed(n);
+  const LevelColumnLayout lay = ccc_layout(n);
+  EXPECT_EQ(g.num_nodes(), 24u);  // n·2^n
+  EXPECT_EQ(g.num_edges(), 48u);  // out-degree 2 everywhere
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.out_degree(v), 2u);
+    EXPECT_EQ(g.in_degree(v), 2u);
+  }
+  // Straight edge and cross edge of ⟨1, 5⟩: → ⟨2, 5⟩ and ⟨1, 5 ⊕ 2⟩ = ⟨1, 7⟩.
+  EXPECT_TRUE(g.has_edge(lay.id(1, 5), lay.id(2, 5)));
+  EXPECT_TRUE(g.has_edge(lay.id(1, 5), lay.id(1, 7)));
+  // Cross edges are paired with their reverses.
+  EXPECT_TRUE(g.has_edge(lay.id(1, 7), lay.id(1, 5)));
+}
+
+TEST(Builders, CccColumnsAreCycles) {
+  const int n = 4;
+  const Digraph g = ccc_directed(n);
+  const LevelColumnLayout lay = ccc_layout(n);
+  for (Node c = 0; c < pow2(n); ++c) {
+    for (int l = 0; l < n; ++l) {
+      EXPECT_TRUE(g.has_edge(lay.id(l, c), lay.id((l + 1) % n, c)));
+    }
+  }
+}
+
+TEST(Builders, CccSymmetricDegrees) {
+  const Digraph g = ccc_symmetric(3);
+  for (Node v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.out_degree(v), 3u);
+}
+
+TEST(Builders, ButterflyStructure) {
+  const int n = 3;
+  const Digraph g = butterfly_directed(n);
+  const LevelColumnLayout lay = butterfly_layout(n);
+  EXPECT_EQ(g.num_nodes(), 24u);
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.out_degree(v), 2u);
+    EXPECT_EQ(g.in_degree(v), 2u);
+  }
+  EXPECT_TRUE(g.has_edge(lay.id(2, 1), lay.id(0, 1)));          // wrap straight
+  EXPECT_TRUE(g.has_edge(lay.id(2, 1), lay.id(0, 1 ^ 4)));      // wrap cross
+}
+
+TEST(Builders, FftStructure) {
+  const int n = 3;
+  const Digraph g = fft_directed(n);
+  const LevelColumnLayout lay = fft_layout(n);
+  EXPECT_EQ(g.num_nodes(), 32u);  // (n+1)·2^n
+  EXPECT_EQ(g.num_edges(), 48u);
+  for (Node c = 0; c < 8; ++c) {
+    EXPECT_EQ(g.out_degree(lay.id(n, c)), 0u);  // last level is a sink
+    EXPECT_EQ(g.in_degree(lay.id(0, c)), 0u);   // first level is a source
+  }
+}
+
+TEST(Builders, LayoutRoundTrip) {
+  const LevelColumnLayout lay = ccc_layout(5);
+  for (int l = 0; l < 5; ++l) {
+    for (Node c = 0; c < 32; c += 3) {
+      const Node v = lay.id(l, c);
+      EXPECT_EQ(lay.level_of(v), l);
+      EXPECT_EQ(lay.column_of(v), c);
+    }
+  }
+}
+
+TEST(Builders, Rejections) {
+  EXPECT_THROW(directed_cycle(1), Error);
+  EXPECT_THROW(ccc_directed(1), Error);
+  EXPECT_THROW(ccc_symmetric(2), Error);
+  EXPECT_THROW(butterfly_symmetric(2), Error);
+  EXPECT_THROW(complete_binary_tree(0), Error);
+}
+
+}  // namespace
+}  // namespace hyperpath

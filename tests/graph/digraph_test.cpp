@@ -1,0 +1,132 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+
+namespace hyperpath {
+namespace {
+
+Digraph triangle() {
+  DigraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  return std::move(b).build();
+}
+
+TEST(Digraph, BasicCounts) {
+  const Digraph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (Node v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+    EXPECT_EQ(g.in_degree(v), 1u);
+  }
+  EXPECT_EQ(g.max_out_degree(), 1u);
+}
+
+TEST(Digraph, EdgesSortedAndFindable) {
+  DigraphBuilder b(4);
+  b.add_edge(2, 1);
+  b.add_edge(0, 3);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Digraph g = std::move(b).build();
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{0, 3}));
+  EXPECT_EQ(g.edge(2), (Edge{2, 1}));
+  EXPECT_EQ(g.edge(3), (Edge{2, 3}));
+  EXPECT_EQ(g.find_edge(2, 3), 3u);
+  EXPECT_EQ(g.find_edge(3, 2), static_cast<std::size_t>(-1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Digraph, OutEdgeRangeConsecutive) {
+  DigraphBuilder b(3);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  const Digraph g = std::move(b).build();
+  const auto [f0, l0] = g.out_edge_range(0);
+  EXPECT_EQ(l0 - f0, 1u);
+  const auto [f1, l1] = g.out_edge_range(1);
+  EXPECT_EQ(l1 - f1, 2u);
+  const auto [f2, l2] = g.out_edge_range(2);
+  EXPECT_EQ(l2 - f2, 0u);
+}
+
+TEST(Digraph, OutNeighborsSorted) {
+  DigraphBuilder b(5);
+  b.add_edge(0, 4);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Digraph g = std::move(b).build();
+  EXPECT_EQ(g.out_neighbors(0), (std::vector<Node>{2, 3, 4}));
+}
+
+TEST(Digraph, RejectsSelfLoop) {
+  DigraphBuilder b(2);
+  b.add_edge(1, 1);
+  EXPECT_THROW(std::move(b).build(), Error);
+}
+
+TEST(Digraph, RejectsDuplicate) {
+  DigraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_THROW(std::move(b).build(), Error);
+}
+
+TEST(Digraph, RejectsOutOfRange) {
+  DigraphBuilder b(2);
+  b.add_edge(0, 2);
+  EXPECT_THROW(std::move(b).build(), Error);
+}
+
+TEST(Digraph, EqualityIsIdentityIsomorphism) {
+  EXPECT_EQ(triangle(), triangle());
+  DigraphBuilder b(3);
+  b.add_edge(0, 2);  // different orientation: the reverse triangle
+  b.add_edge(2, 1);
+  b.add_edge(1, 0);
+  const Digraph rev = std::move(b).build();
+  EXPECT_FALSE(triangle() == rev);  // isomorphic but not equal
+}
+
+TEST(Digraph, RelabelAppliesPermutation) {
+  const std::vector<Node> phi{1, 2, 0};
+  const Digraph g = relabel(triangle(), phi);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Digraph, RelabelIdentityIsEqual) {
+  const std::vector<Node> id{0, 1, 2};
+  EXPECT_EQ(relabel(triangle(), id), triangle());
+}
+
+TEST(Digraph, RelabelRejectsNonPermutation) {
+  const std::vector<Node> bad{0, 0, 2};
+  EXPECT_THROW(relabel(triangle(), bad), Error);
+}
+
+TEST(Digraph, IsPermutation) {
+  EXPECT_TRUE(is_permutation(std::vector<Node>{2, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation(std::vector<Node>{2, 2, 1}, 3));
+  EXPECT_FALSE(is_permutation(std::vector<Node>{0, 1}, 3));
+  EXPECT_FALSE(is_permutation(std::vector<Node>{0, 1, 3}, 3));
+}
+
+TEST(Digraph, UndirectedAddsBothDirections) {
+  DigraphBuilder b(2);
+  b.add_undirected(0, 1);
+  const Digraph g = std::move(b).build();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+}  // namespace
+}  // namespace hyperpath

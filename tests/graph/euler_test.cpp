@@ -1,0 +1,87 @@
+#include "graph/euler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+
+namespace hyperpath {
+namespace {
+
+// Verifies that `tour` is an Eulerian circuit of g: closed, uses each edge
+// exactly once.
+void expect_valid_circuit(const EdgeList& g, const std::vector<Node>& tour) {
+  ASSERT_EQ(tour.size(), g.edges.size() + 1);
+  EXPECT_EQ(tour.front(), tour.back());
+  std::map<std::pair<Node, Node>, int> remaining;
+  for (const auto& e : g.edges) ++remaining[e];
+  for (std::size_t i = 0; i + 1 < tour.size(); ++i) {
+    auto it = remaining.find({tour[i], tour[i + 1]});
+    ASSERT_NE(it, remaining.end()) << "tour uses absent edge";
+    if (--it->second == 0) remaining.erase(it);
+  }
+  EXPECT_TRUE(remaining.empty());
+}
+
+TEST(Euler, DirectedTriangle) {
+  EdgeList g{3, {{0, 1}, {1, 2}, {2, 0}}};
+  EXPECT_TRUE(has_eulerian_circuit(g));
+  expect_valid_circuit(g, eulerian_circuit(g, 0));
+}
+
+TEST(Euler, TwoTrianglesSharingANode) {
+  EdgeList g{5, {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}}};
+  EXPECT_TRUE(has_eulerian_circuit(g));
+  expect_valid_circuit(g, eulerian_circuit(g, 1));
+}
+
+TEST(Euler, ParallelEdgesAllowed) {
+  EdgeList g{2, {{0, 1}, {0, 1}, {1, 0}, {1, 0}}};
+  EXPECT_TRUE(has_eulerian_circuit(g));
+  expect_valid_circuit(g, eulerian_circuit(g, 0));
+}
+
+TEST(Euler, UnbalancedHasNoCircuit) {
+  EdgeList g{3, {{0, 1}, {1, 2}}};
+  EXPECT_FALSE(has_eulerian_circuit(g));
+  EXPECT_THROW(eulerian_circuit(g, 0), Error);
+}
+
+TEST(Euler, DisconnectedHasNoCircuit) {
+  EdgeList g{4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}}};
+  EXPECT_FALSE(has_eulerian_circuit(g));
+}
+
+TEST(Euler, IsolatedNodesAreFine) {
+  EdgeList g{5, {{0, 1}, {1, 0}}};
+  EXPECT_TRUE(has_eulerian_circuit(g));
+}
+
+TEST(Euler, RandomBalancedGraphs) {
+  // Union of random directed cycles through random subsets is balanced and,
+  // if the cycles overlap, connected; we stitch them via node 0 to be sure.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Node n = 12;
+    EdgeList g{n, {}};
+    for (int c = 0; c < 3; ++c) {
+      auto perm = rng.permutation(n);
+      // Make sure node 0 is on every cycle so the union is connected.
+      std::vector<Node> cyc{0};
+      for (Node v : perm) {
+        if (v != 0 && rng.chance(0.6)) cyc.push_back(v);
+      }
+      if (cyc.size() < 2) cyc.push_back(1 + static_cast<Node>(rng.below(n - 1)));
+      for (std::size_t i = 0; i < cyc.size(); ++i) {
+        g.edges.emplace_back(cyc[i], cyc[(i + 1) % cyc.size()]);
+      }
+    }
+    ASSERT_TRUE(has_eulerian_circuit(g)) << "trial " << trial;
+    expect_valid_circuit(g, eulerian_circuit(g, 0));
+  }
+}
+
+}  // namespace
+}  // namespace hyperpath

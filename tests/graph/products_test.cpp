@@ -1,0 +1,113 @@
+#include "graph/products.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+#include "base/moment.hpp"
+#include "graph/builders.hpp"
+#include "graph/hypercube.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(CrossProduct, PathTimesPathIsGrid) {
+  const Digraph g = cross_product(symmetric_path(3), symmetric_path(4));
+  const Digraph grid = grid_graph(GridSpec{{3, 4}, false});
+  EXPECT_EQ(g, grid);
+}
+
+TEST(CrossProduct, CycleTimesCycleIsTorus) {
+  const Digraph g = cross_product(symmetric_cycle(4), symmetric_cycle(5));
+  const Digraph torus = grid_graph(GridSpec{{4, 5}, true});
+  EXPECT_EQ(g, torus);
+}
+
+TEST(CrossProduct, HypercubeProduct) {
+  // Q_2 × Q_3 = Q_5 (as the paper notes), under the id ⟨g,h⟩ = g·8 + h,
+  // i.e. the Q_2 bits are the high bits.
+  const Digraph q2 = Hypercube(2).to_digraph();
+  const Digraph q3 = Hypercube(3).to_digraph();
+  const Digraph q5 = Hypercube(5).to_digraph();
+  EXPECT_EQ(cross_product(q2, q3), q5);
+}
+
+TEST(CrossProduct, DegreesAdd) {
+  const Digraph g = cross_product(symmetric_cycle(5), symmetric_path(2));
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.out_degree(v), 3u);  // 2 (cycle) + 1 (path end)
+  }
+}
+
+TEST(GeneralizedCrossProduct, EqualsStandardWhenUniform) {
+  // If every row is G and every column is H... the generalized product is
+  // defined for same-size factors; use the 4-cycle on both sides.
+  const Digraph c4 = symmetric_cycle(4);
+  const std::vector<Digraph> rows(4, c4), cols(4, c4);
+  EXPECT_EQ(generalized_cross_product(rows, cols), cross_product(c4, c4));
+}
+
+TEST(GeneralizedCrossProduct, RowAndColumnInduceTheirGraphs) {
+  // Row i should induce rows[i], column j should induce cols[j].
+  const Node n = 4;
+  const Digraph c4 = symmetric_cycle(4);
+  const std::vector<Node> phi{1, 3, 0, 2};
+  std::vector<Digraph> rows{c4, relabel(c4, phi), c4, relabel(c4, phi)};
+  std::vector<Digraph> cols{relabel(c4, phi), c4, c4, c4};
+  const Digraph x = generalized_cross_product(rows, cols);
+  for (Node i = 0; i < n; ++i) {
+    for (const Edge& e : rows[i].edges()) {
+      EXPECT_TRUE(x.has_edge(product_vertex(i, e.from, n),
+                             product_vertex(i, e.to, n)));
+    }
+  }
+  for (Node j = 0; j < n; ++j) {
+    for (const Edge& e : cols[j].edges()) {
+      EXPECT_TRUE(x.has_edge(product_vertex(e.from, j, n),
+                             product_vertex(e.to, j, n)));
+    }
+  }
+  // Edge count: sum of row edges + column edges (they never coincide:
+  // row edges move within a row, column edges across rows).
+  std::size_t expected = 0;
+  for (const auto& r : rows) expected += r.num_edges();
+  for (const auto& c : cols) expected += c.num_edges();
+  EXPECT_EQ(x.num_edges(), expected);
+}
+
+TEST(GeneralizedCrossProduct, RejectsMismatchedSizes) {
+  const Digraph c4 = symmetric_cycle(4);
+  const Digraph c5 = symmetric_cycle(5);
+  EXPECT_THROW(
+      generalized_cross_product({c4, c4, c4, c4}, {c4, c4, c4, c5}), Error);
+  EXPECT_THROW(generalized_cross_product({c4}, {c4, c4}), Error);
+}
+
+TEST(InducedCrossProduct, CycleCase) {
+  // G = directed 4-cycle (2^2 vertices), 2 copies given by the identity and
+  // one nontrivial automorphism.  Rows/columns are selected by moments.
+  const Digraph g = directed_cycle(4);
+  const std::vector<std::vector<Node>> autos{{0, 1, 2, 3}, {1, 2, 3, 0}};
+  const Digraph x = induced_cross_product(g, 2, autos);
+  EXPECT_EQ(x.num_nodes(), 16u);
+  // Every vertex has out-degree 2 (one row edge, one column edge).
+  for (Node v = 0; v < 16; ++v) EXPECT_EQ(x.out_degree(v), 2u);
+  // Row i carries copy M(i) % 2: rows 0,1 → copy M = 0,0... check row 2
+  // (M(2) = 1): its induced cycle is the relabeled copy.
+  const Node i = 2;
+  EXPECT_EQ(moment(i) % 2, 1u);
+  const Digraph copy1 = relabel(g, autos[1]);
+  for (const Edge& e : copy1.edges()) {
+    EXPECT_TRUE(
+        x.has_edge(product_vertex(i, e.from, 4), product_vertex(i, e.to, 4)));
+  }
+}
+
+TEST(InducedCrossProduct, RejectsBadArity) {
+  const Digraph g = directed_cycle(4);
+  EXPECT_THROW(induced_cross_product(g, 3, {{0, 1, 2, 3}}), Error);
+  EXPECT_THROW(induced_cross_product(g, 2, {{0, 1, 2, 3}}), Error);
+}
+
+}  // namespace
+}  // namespace hyperpath

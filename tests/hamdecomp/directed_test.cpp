@@ -1,0 +1,66 @@
+#include "hamdecomp/directed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+namespace {
+
+// Lemma 1: for n even (odd), n (n−1) copies of the 2^n-node directed cycle
+// embed in Q_n with dilation 1 and congestion 1.
+class Lemma1 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma1, FamilySatisfiesLemma) {
+  const int n = GetParam();
+  DirectedCycleFamily fam(n);
+  EXPECT_EQ(fam.dims(), n);
+  EXPECT_EQ(fam.num_cycles(), n % 2 == 0 ? n : n - 1);
+  EXPECT_NO_THROW(fam.verify_or_throw());
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToQ9, Lemma1,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9));
+
+TEST(DirectedCycles, PairedCyclesAreReverses) {
+  DirectedCycleFamily fam(6);
+  for (int c = 0; c < fam.num_cycles(); c += 2) {
+    for (Node v = 0; v < 64; ++v) {
+      EXPECT_EQ(fam.next(c + 1, fam.next(c, v)), v);
+      EXPECT_EQ(fam.prev(c, v), fam.next(c + 1, v));
+    }
+  }
+}
+
+TEST(DirectedCycles, SequenceClosesAndCovers) {
+  DirectedCycleFamily fam(4);
+  for (int c = 0; c < fam.num_cycles(); ++c) {
+    const auto seq = fam.sequence(c, 5);
+    EXPECT_EQ(seq.size(), 16u);
+    EXPECT_EQ(seq.front(), 5u);
+    std::vector<bool> seen(16, false);
+    for (Node v : seq) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(DirectedCycles, SequenceRejectsBadIndex) {
+  DirectedCycleFamily fam(4);
+  EXPECT_THROW(fam.sequence(4), Error);
+  EXPECT_THROW(fam.sequence(-1), Error);
+}
+
+TEST(DirectedCycles, EvenDimensionUsesEveryDirectedEdgeExactlyOnce) {
+  // For even n the family's cycles use all n·2^n directed edges: n cycles ×
+  // 2^n edges each = n·2^n, and verify_or_throw already proves no reuse.
+  DirectedCycleFamily fam(6);
+  EXPECT_EQ(static_cast<std::uint64_t>(fam.num_cycles()) * pow2(6),
+            6 * pow2(6));
+  fam.verify_or_throw();
+}
+
+}  // namespace
+}  // namespace hyperpath

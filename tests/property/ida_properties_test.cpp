@@ -1,0 +1,63 @@
+// Randomized property sweep over the IDA codec: for random (n, m, size),
+// any m-subset reconstructs and the overhead is exactly n/m.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "sim/ida.hpp"
+
+namespace hyperpath {
+namespace {
+
+class IdaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IdaProperty, RandomSubsetsReconstruct) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.below(14));
+  const int m = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  const std::size_t size = 1 + rng.below(2000);
+
+  std::vector<std::uint8_t> data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+
+  const auto frags = ida_encode(data, n, m);
+  ASSERT_EQ(frags.size(), static_cast<std::size_t>(n));
+  const std::size_t frag_size = (size + m - 1) / m;
+  for (const auto& f : frags) EXPECT_EQ(f.payload.size(), frag_size);
+
+  // Five random m-subsets.
+  for (int trial = 0; trial < 5; ++trial) {
+    auto order = rng.permutation(static_cast<std::uint32_t>(n));
+    std::vector<IdaFragment> subset;
+    for (int i = 0; i < m; ++i) subset.push_back(frags[order[i]]);
+    const auto decoded = ida_decode(subset, m, size);
+    ASSERT_TRUE(decoded.has_value()) << "n=" << n << " m=" << m;
+    EXPECT_EQ(*decoded, data);
+  }
+
+  // m−1 fragments must fail.
+  if (m > 1) {
+    std::vector<IdaFragment> tooFew(frags.begin(), frags.begin() + m - 1);
+    EXPECT_FALSE(ida_decode(tooFew, m, size).has_value());
+  }
+}
+
+TEST_P(IdaProperty, TamperedFragmentChangesOutput) {
+  Rng rng(GetParam() ^ 0xF00D);
+  const int n = 5, m = 3;
+  std::vector<std::uint8_t> data(257);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  auto frags = ida_encode(data, n, m);
+  // Corrupt one byte of one used fragment: reconstruction differs.
+  frags[1].payload[rng.below(frags[1].payload.size())] ^= 0x5A;
+  const std::vector<IdaFragment> subset{frags[0], frags[1], frags[2]};
+  const auto decoded = ida_decode(subset, m, data.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NE(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdaProperty,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u, 60u, 70u,
+                                           80u, 90u, 100u));
+
+}  // namespace
+}  // namespace hyperpath

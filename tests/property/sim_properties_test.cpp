@@ -1,0 +1,117 @@
+// Property tests for the simulators: conservation laws and model
+// consistency under randomized workloads.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "sim/store_forward.hpp"
+#include "sim/workloads.hpp"
+#include "sim/wormhole.hpp"
+
+namespace hyperpath {
+namespace {
+
+std::vector<Packet> random_packets(int dims, int count, Rng& rng) {
+  const Hypercube q(dims);
+  std::vector<Packet> out;
+  for (int i = 0; i < count; ++i) {
+    Packet p;
+    const Node s = static_cast<Node>(rng.below(q.num_nodes()));
+    const Node d = static_cast<Node>(rng.below(q.num_nodes()));
+    p.route = ecube_route(q, s, d);
+    p.release = static_cast<int>(rng.below(4));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+class SimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimProperty, TransmissionsEqualTotalRouteLength) {
+  Rng rng(GetParam());
+  const int dims = 3 + static_cast<int>(rng.below(4));
+  const auto packets = random_packets(dims, 100, rng);
+  std::uint64_t expected = 0;
+  for (const auto& p : packets) expected += p.route.size() - 1;
+  for (auto policy : {Arbitration::kFifo, Arbitration::kFarthestFirst}) {
+    const auto r = StoreForwardSim(dims).run(packets, policy);
+    EXPECT_EQ(r.total_transmissions, expected);
+  }
+}
+
+TEST_P(SimProperty, UtilizationBoundedAndConsistent) {
+  Rng rng(GetParam() ^ 0xABCD);
+  const int dims = 4;
+  const auto packets = random_packets(dims, 80, rng);
+  const auto r = StoreForwardSim(dims).run(packets);
+  const double links = static_cast<double>(Hypercube(dims).num_directed_edges());
+  double total = 0;
+  for (double u : r.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    total += u * links;
+  }
+  // Per-step busy-link counts must sum to total transmissions.
+  EXPECT_NEAR(total, static_cast<double>(r.total_transmissions), 1e-6);
+  EXPECT_EQ(static_cast<int>(r.utilization.size()), r.makespan);
+}
+
+TEST_P(SimProperty, MakespanAtLeastLongestRouteAndRelease) {
+  Rng rng(GetParam() ^ 0x1234);
+  const int dims = 5;
+  const auto packets = random_packets(dims, 60, rng);
+  int lower = 0;
+  for (const auto& p : packets) {
+    if (p.route.size() > 1) {
+      lower = std::max(lower, p.release +
+                                  static_cast<int>(p.route.size()) - 1);
+    }
+  }
+  const auto r = StoreForwardSim(dims).run(packets);
+  EXPECT_GE(r.makespan, lower);
+}
+
+TEST_P(SimProperty, WormholeUnblockedIsExactlyLPlusMMinus1) {
+  Rng rng(GetParam() ^ 0x77);
+  const int dims = 5;
+  const Hypercube q(dims);
+  // A single worm is never blocked.
+  const Node s = static_cast<Node>(rng.below(q.num_nodes()));
+  Node d = static_cast<Node>(rng.below(q.num_nodes()));
+  if (d == s) d = s ^ 1u;
+  Worm w;
+  w.route = ecube_route(q, s, d);
+  w.flits = 1 + static_cast<int>(rng.below(50));
+  const auto r = WormholeSim(dims).run({w});
+  EXPECT_EQ(r.makespan,
+            static_cast<int>(w.route.size()) - 1 + w.flits - 1);
+}
+
+TEST_P(SimProperty, WormholeNeverBeatsContentionFreeBound) {
+  // Every worm's completion ≥ release + L + M − 1.
+  Rng rng(GetParam() ^ 0x99);
+  const int dims = 4;
+  const Hypercube q(dims);
+  std::vector<Worm> worms;
+  for (int i = 0; i < 20; ++i) {
+    Worm w;
+    const Node s = static_cast<Node>(rng.below(q.num_nodes()));
+    const Node d = static_cast<Node>(rng.below(q.num_nodes()));
+    w.route = ecube_route(q, s, d);
+    w.flits = 1 + static_cast<int>(rng.below(8));
+    w.release = static_cast<int>(rng.below(3));
+    worms.push_back(std::move(w));
+  }
+  const auto r = WormholeSim(dims).run(worms);
+  for (std::size_t i = 0; i < worms.size(); ++i) {
+    if (worms[i].route.size() <= 1) continue;
+    EXPECT_GE(r.completion[i],
+              worms[i].release + static_cast<int>(worms[i].route.size()) - 1 +
+                  worms[i].flits - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,127 @@
+#include "sim/ida.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(Gf256, FieldAxiomsSpotChecks) {
+  using namespace gf256;
+  EXPECT_EQ(add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(mul(0x57, 0x83), 0xC1);  // classic AES example
+  EXPECT_EQ(mul(1, 0xAB), 0xAB);
+  EXPECT_EQ(mul(0, 0xAB), 0);
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), inv(static_cast<std::uint8_t>(a))), 1);
+  }
+}
+
+TEST(Gf256, MulCommutesAndAssociatesSampled) {
+  using namespace gf256;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.below(256));
+    const auto b = static_cast<std::uint8_t>(rng.below(256));
+    const auto c = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_EQ(mul(a, b), mul(b, a));
+    EXPECT_EQ(mul(a, mul(b, c)), mul(mul(a, b), c));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));  // distributivity
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  using namespace gf256;
+  std::uint8_t acc = 1;
+  for (unsigned e = 0; e < 10; ++e) {
+    EXPECT_EQ(pow(0x35, e), acc);
+    acc = mul(acc, 0x35);
+  }
+}
+
+std::vector<std::uint8_t> test_message(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  return data;
+}
+
+TEST(Ida, RoundTripAllFragments) {
+  const auto data = test_message(1000, 1);
+  const auto frags = ida_encode(data, 8, 5);
+  ASSERT_EQ(frags.size(), 8u);
+  for (const auto& f : frags) EXPECT_EQ(f.payload.size(), 200u);
+  const auto decoded = ida_decode(frags, 5, data.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Ida, AnyThresholdSubsetRecovers) {
+  const auto data = test_message(333, 2);
+  const int n = 6, m = 3;
+  const auto frags = ida_encode(data, n, m);
+  // Every 3-subset of the 6 fragments must reconstruct.
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      for (int c = b + 1; c < n; ++c) {
+        const std::vector<IdaFragment> subset{frags[a], frags[b], frags[c]};
+        const auto decoded = ida_decode(subset, m, data.size());
+        ASSERT_TRUE(decoded.has_value()) << a << b << c;
+        EXPECT_EQ(*decoded, data);
+      }
+    }
+  }
+}
+
+TEST(Ida, BelowThresholdFails) {
+  const auto data = test_message(100, 3);
+  const auto frags = ida_encode(data, 5, 3);
+  const std::vector<IdaFragment> two{frags[0], frags[4]};
+  EXPECT_FALSE(ida_decode(two, 3, data.size()).has_value());
+}
+
+TEST(Ida, DuplicateIndicesDoNotCount) {
+  const auto data = test_message(100, 4);
+  const auto frags = ida_encode(data, 5, 3);
+  const std::vector<IdaFragment> dup{frags[0], frags[0], frags[0]};
+  EXPECT_FALSE(ida_decode(dup, 3, data.size()).has_value());
+}
+
+TEST(Ida, ThresholdOneIsReplication) {
+  const auto data = test_message(64, 5);
+  const auto frags = ida_encode(data, 4, 1);
+  for (const auto& f : frags) {
+    const auto decoded = ida_decode(std::vector<IdaFragment>{f}, 1, data.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(Ida, SizeNotMultipleOfThreshold) {
+  const auto data = test_message(101, 6);  // 101 = 3·33 + 2
+  const auto frags = ida_encode(data, 7, 3);
+  const std::vector<IdaFragment> subset{frags[6], frags[2], frags[4]};
+  const auto decoded = ida_decode(subset, 3, data.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Ida, RejectsBadParameters) {
+  const auto data = test_message(10, 7);
+  EXPECT_THROW(ida_encode(data, 0, 0), Error);
+  EXPECT_THROW(ida_encode(data, 3, 4), Error);
+  EXPECT_THROW(ida_encode(data, 256, 2), Error);
+}
+
+TEST(Ida, OverheadIsNOverM) {
+  const auto data = test_message(600, 8);
+  const auto frags = ida_encode(data, 10, 6);
+  std::size_t total = 0;
+  for (const auto& f : frags) total += f.payload.size();
+  EXPECT_EQ(total, 1000u);  // 600 · 10/6
+}
+
+}  // namespace
+}  // namespace hyperpath

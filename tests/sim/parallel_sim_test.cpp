@@ -1,0 +1,77 @@
+#include "sim/parallel_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "core/cycle_multipath.hpp"
+#include "sim/phase.hpp"
+#include "sim/workloads.hpp"
+
+namespace hyperpath {
+namespace {
+
+std::vector<Packet> random_workload(int dims, int count, std::uint64_t seed) {
+  Rng rng(seed);
+  const Hypercube q(dims);
+  std::vector<Packet> out;
+  for (int i = 0; i < count; ++i) {
+    Packet p;
+    const Node s = static_cast<Node>(rng.below(q.num_nodes()));
+    const Node d = static_cast<Node>(rng.below(q.num_nodes()));
+    p.route = ecube_route(q, s, d);
+    p.release = static_cast<int>(rng.below(3));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_transmissions, b.total_transmissions);
+  EXPECT_EQ(a.utilization, b.utilization);
+  // max_queue is sampled in the parallel sim and intentionally not compared.
+}
+
+class ParallelSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelSim, MatchesSerialOnRandomWorkloads) {
+  const int threads = GetParam();
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const int dims = 6;
+    const auto packets = random_workload(dims, 500, seed);
+    const auto serial = StoreForwardSim(dims).run(packets);
+    const auto par = ParallelStoreForwardSim(dims, threads).run(packets);
+    expect_identical(serial, par);
+  }
+}
+
+TEST_P(ParallelSim, MatchesSerialOnTheorem1Phase) {
+  const int threads = GetParam();
+  const int n = 8;
+  const auto emb = theorem1_cycle_embedding(n);
+  const auto packets = phase_packets(emb, 2 * n);
+  const auto serial = StoreForwardSim(n).run(packets);
+  const auto par = ParallelStoreForwardSim(n, threads).run(packets);
+  expect_identical(serial, par);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelSim,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ParallelSimBasics, EmptyAndTrivial) {
+  ParallelStoreForwardSim sim(4, 2);
+  EXPECT_EQ(sim.run({}).makespan, 0);
+  Packet p;
+  p.route = {7};
+  EXPECT_EQ(sim.run({p}).makespan, 0);
+}
+
+TEST(ParallelSimBasics, DefaultThreadCount) {
+  // threads = 0 picks hardware concurrency; results must still match.
+  const auto packets = random_workload(5, 200, 9);
+  expect_identical(StoreForwardSim(5).run(packets),
+                   ParallelStoreForwardSim(5, 0).run(packets));
+}
+
+}  // namespace
+}  // namespace hyperpath

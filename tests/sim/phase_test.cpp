@@ -1,0 +1,85 @@
+#include "sim/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hpp"
+#include "embed/classical.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(Phase, GrayCycleOnePacketCostIsOne) {
+  const auto emb = gray_code_cycle_embedding(4);
+  const auto r = measure_phase_cost(emb, 1);
+  EXPECT_EQ(r.makespan, 1);
+}
+
+// Section 2: with the classical Gray-code cycle, m packets per node need
+// ~m steps (each node's single outgoing cycle link serializes them; the
+// paper's lower bound is m/2 via the dimension-0 counting argument).
+TEST(Phase, GrayCycleMPacketCostIsM) {
+  const auto emb = gray_code_cycle_embedding(5);
+  for (int m : {2, 4, 8}) {
+    const auto r = measure_phase_cost(emb, m);
+    EXPECT_EQ(r.makespan, m);
+  }
+}
+
+TEST(Phase, PacketsRoundRobinOverBundle) {
+  // Width-2 embedding of the 2-cycle; 4 packets per edge → 2 per path →
+  // pipelined cost 2 + (2 − 1) = 3 over the length-2 paths.
+  DigraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  MultiPathEmbedding emb(std::move(b).build(), 2);
+  emb.set_node_map({0b00, 0b11});
+  emb.set_paths(emb.guest().find_edge(0, 1),
+                {{0b00, 0b01, 0b11}, {0b00, 0b10, 0b11}});
+  emb.set_paths(emb.guest().find_edge(1, 0),
+                {{0b11, 0b01, 0b00}, {0b11, 0b10, 0b00}});
+  const auto packets = phase_packets(emb, 4);
+  EXPECT_EQ(packets.size(), 8u);
+  const auto r = measure_phase_cost(emb, 4);
+  EXPECT_EQ(r.makespan, 3);
+}
+
+TEST(Phase, ShortestPathGetsExtraPackets) {
+  // Bundle with one direct path and one length-3 path; p = 3 should put
+  // packets 0 and 2 on the direct path.
+  DigraphBuilder b(2);
+  b.add_edge(0, 1);
+  MultiPathEmbedding emb(std::move(b).build(), 3);
+  emb.set_node_map({0b000, 0b001});
+  emb.set_paths(0, {{0b000, 0b010, 0b011, 0b001}, {0b000, 0b001}});
+  const auto packets = phase_packets(emb, 3);
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].route.size(), 2u);  // direct first
+  EXPECT_EQ(packets[1].route.size(), 4u);
+  EXPECT_EQ(packets[2].route.size(), 2u);
+}
+
+TEST(Phase, KCopyCyclesPhaseCostOne) {
+  // Lemma 1: the copies are jointly congestion-1, so a 1-packet phase on
+  // every copy simultaneously still finishes in one step.
+  const auto emb = multicopy_directed_cycles(4);
+  const auto r = measure_phase_cost(emb, 1);
+  EXPECT_EQ(r.makespan, 1);
+}
+
+TEST(Phase, KCopyPipelinedPackets) {
+  const auto emb = multicopy_directed_cycles(4);
+  const auto r = measure_phase_cost(emb, 5);
+  EXPECT_EQ(r.makespan, 5);  // each copy's links serialize its own packets
+}
+
+TEST(Phase, EvenCubeFullUtilization) {
+  // For even n every directed link carries a packet in every step of a
+  // 1-packet multicopy phase.
+  const auto emb = multicopy_directed_cycles(6);
+  const auto r = measure_phase_cost(emb, 1);
+  ASSERT_EQ(r.utilization.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.utilization[0], 1.0);
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,133 @@
+#include "sim/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/bits.hpp"
+#include "base/error.hpp"
+
+namespace hyperpath {
+namespace {
+
+void expect_permutation(const Pattern& p) {
+  Pattern s = p;
+  std::sort(s.begin(), s.end());
+  for (Node i = 0; i < s.size(); ++i) ASSERT_EQ(s[i], i);
+}
+
+TEST(Workloads, RandomPatternIsPermutation) {
+  Rng rng(5);
+  expect_permutation(random_permutation_pattern(6, rng));
+}
+
+TEST(Workloads, BitReversal) {
+  const auto p = bit_reversal_pattern(4);
+  expect_permutation(p);
+  EXPECT_EQ(p[0b0001], 0b1000u);
+  EXPECT_EQ(p[0b1010], 0b0101u);
+  EXPECT_EQ(p[0b1111], 0b1111u);
+  // Involution.
+  for (Node v = 0; v < 16; ++v) EXPECT_EQ(p[p[v]], v);
+}
+
+TEST(Workloads, Transpose) {
+  const auto p = transpose_pattern(6);
+  expect_permutation(p);
+  EXPECT_EQ(p[0b000111], 0b111000u);
+  for (Node v = 0; v < 64; ++v) EXPECT_EQ(p[p[v]], v);
+  EXPECT_THROW(transpose_pattern(5), Error);
+}
+
+TEST(Workloads, Complement) {
+  const auto p = complement_pattern(5);
+  expect_permutation(p);
+  EXPECT_EQ(p[0], 31u);
+  for (Node v = 0; v < 32; ++v) EXPECT_EQ(p[p[v]], v);
+}
+
+TEST(Workloads, EcubeRouteCorrectsBitsInOrder) {
+  const Hypercube q(5);
+  const auto path = ecube_route(q, 0b00101, 0b11000);
+  // Differing bits: 0, 2, 3, 4 → route length 4, dimensions ascending.
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0b00101u);
+  EXPECT_EQ(path.back(), 0b11000u);
+  EXPECT_TRUE(is_valid_path(q, path));
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    for (std::size_t j = i + 1; j + 1 < path.size(); ++j) {
+      EXPECT_LT(q.edge_dim(path[i], path[i + 1]),
+                q.edge_dim(path[j], path[j + 1]));
+    }
+  }
+}
+
+TEST(Workloads, EcubeTrivialRoute) {
+  const Hypercube q(4);
+  const auto path = ecube_route(q, 9, 9);
+  EXPECT_EQ(path, (HostPath{9}));
+}
+
+TEST(Workloads, ValiantRouteValidAndBounded) {
+  const Hypercube q(6);
+  Rng rng(44);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Node s = static_cast<Node>(rng.below(q.num_nodes()));
+    const Node d = static_cast<Node>(rng.below(q.num_nodes()));
+    const auto path = valiant_route(q, s, d, rng);
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), d);
+    EXPECT_TRUE(is_valid_path(q, path));
+    EXPECT_LE(path.size(), 2u * q.dims() + 1);  // two e-cube phases
+  }
+}
+
+TEST(Workloads, ValiantSpreadsAdversarialTraffic) {
+  // On the complement permutation, e-cube funnels every route through the
+  // same dimension order; Valiant's random intermediates spread the load —
+  // here: the maximum per-link congestion drops.
+  const int dims = 7;
+  const Hypercube q(dims);
+  const auto pattern = complement_pattern(dims);
+  std::vector<std::uint32_t> ecube_cong(q.num_directed_edges(), 0);
+  std::vector<std::uint32_t> valiant_cong(q.num_directed_edges(), 0);
+  Rng rng(9);
+  auto count = [&](const HostPath& p, std::vector<std::uint32_t>& cong) {
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      ++cong[q.edge_id(p[i], p[i + 1])];
+    }
+  };
+  for (Node v = 0; v < q.num_nodes(); ++v) {
+    count(ecube_route(q, v, pattern[v]), ecube_cong);
+    count(valiant_route(q, v, pattern[v], rng), valiant_cong);
+  }
+  const auto mx = [](const std::vector<std::uint32_t>& c) {
+    return *std::max_element(c.begin(), c.end());
+  };
+  // e-cube on the complement is perfectly balanced (it is a dimension-wise
+  // shift), so just require Valiant not to be catastrophically worse and
+  // check a genuinely bad pattern too: transpose.
+  EXPECT_LE(mx(valiant_cong), 4 * mx(ecube_cong) + 8);
+
+  // Transpose is the classic e-cube killer: Θ(√N) congestion on the
+  // middle dimensions, which Valiant's random intermediates dissolve.
+  const int tdims = 8;
+  const Hypercube qt(tdims);
+  std::vector<std::uint32_t> e2(qt.num_directed_edges(), 0);
+  std::vector<std::uint32_t> v2(qt.num_directed_edges(), 0);
+  auto count2 = [&](const HostPath& p, std::vector<std::uint32_t>& cong) {
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      ++cong[qt.edge_id(p[i], p[i + 1])];
+    }
+  };
+  const auto tr = transpose_pattern(tdims);
+  for (Node v = 0; v < qt.num_nodes(); ++v) {
+    count2(ecube_route(qt, v, tr[v]), e2);
+    count2(valiant_route(qt, v, tr[v], rng), v2);
+  }
+  EXPECT_GE(mx(e2), 8u);  // the Θ(√N) hotspot is real
+  EXPECT_LT(mx(v2), mx(e2));
+}
+
+}  // namespace
+}  // namespace hyperpath

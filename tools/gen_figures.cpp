@@ -1,0 +1,149 @@
+// Regenerates the paper's illustrative figures as Graphviz DOT.
+//
+//   gen_figures [output_dir]
+//
+//   fig1.dot — the binary reflected Gray-code embedding of the directed
+//              cycle in Q_3, edges labeled with their hypercube dimension
+//              (Figure 1).
+//   fig2.txt — the three address fields of Theorem 1 (Figure 2).
+//   fig3.dot — the length-2^n cycle C formed from column special cycles,
+//              for n = 4: columns as clusters, special-cycle edges solid,
+//              row edges dashed (Figure 3).
+//   fig4.dot — the length-three detour paths of one special edge
+//              (Figure 4).
+//
+// Render with:  dot -Tpdf fig1.dot -o fig1.pdf
+#include <cstdio>
+#include <string>
+
+#include "base/gray.hpp"
+#include "base/moment.hpp"
+#include "core/cycle_multipath.hpp"
+
+namespace hyperpath {
+namespace {
+
+FILE* open_out(const std::string& dir, const char* name) {
+  const std::string path = dir + "/" + name;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::perror(path.c_str());
+    std::exit(1);
+  }
+  std::printf("writing %s\n", path.c_str());
+  return f;
+}
+
+std::string bits_of(hyperpath::Node v, int width) {
+  std::string s(width, '0');
+  for (int i = 0; i < width; ++i) {
+    if ((v >> i) & 1u) s[width - 1 - i] = '1';
+  }
+  return s;
+}
+
+void fig1(const std::string& dir) {
+  FILE* f = open_out(dir, "fig1.dot");
+  std::fprintf(f,
+               "// Figure 1: the binary reflected graycode embedding (Q_3).\n"
+               "digraph fig1 {\n  layout=circo;\n"
+               "  node [shape=circle, fontname=monospace];\n");
+  const int k = 3;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const Node a = gray_node_at(k, i);
+    const Node b = gray_node_at(k, (i + 1) % 8);
+    std::fprintf(f, "  \"%s\" -> \"%s\" [label=\"%d\"];\n",
+                 bits_of(a, k).c_str(), bits_of(b, k).c_str(),
+                 gray_transition_at(k, i));
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+void fig2(const std::string& dir) {
+  FILE* f = open_out(dir, "fig2.txt");
+  std::fprintf(f,
+               "Figure 2: dividing addresses into three fields (n = 4k + r)\n"
+               "\n"
+               "  +----------+-------------+---------+\n"
+               "  |   Row    |     Column name        |\n"
+               "  |          |  Position   |  Block  |\n"
+               "  |  2k bits |  2k bits    |  r bits |\n"
+               "  +----------+-------------+---------+\n"
+               "   msb                            lsb\n");
+  std::fclose(f);
+}
+
+void fig3(const std::string& dir) {
+  // The Theorem 1 guest cycle on Q_4 (k = 1, r = 0): 4 columns of 4 rows.
+  FILE* f = open_out(dir, "fig3.dot");
+  const int n = 4;
+  const auto emb = theorem1_cycle_embedding(n);
+  std::fprintf(f,
+               "// Figure 3: forming the length-2^4 cycle C from column\n"
+               "// special cycles.  Solid: special-cycle edges; dashed: row\n"
+               "// edges between columns (Gray order).\n"
+               "digraph fig3 {\n  rankdir=LR;\n"
+               "  node [shape=circle, fontname=monospace];\n");
+  // Cluster per column (low 2 bits).
+  for (Node col = 0; col < 4; ++col) {
+    std::fprintf(f, "  subgraph cluster_c%u {\n    label=\"column %u "
+                 "(cycle M=%u)\";\n", col, col, moment(col));
+    for (Node row = 0; row < 4; ++row) {
+      std::fprintf(f, "    \"%u\";\n", (row << 2) | col);
+    }
+    std::fprintf(f, "  }\n");
+  }
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const Edge& ge = emb.guest().edge(e);
+    const Node a = emb.host_of(ge.from);
+    const Node b = emb.host_of(ge.to);
+    const bool row_edge = ((a ^ b) & 0b11u) != 0;  // low bits differ
+    std::fprintf(f, "  \"%u\" -> \"%u\"%s;\n", a, b,
+                 row_edge ? " [style=dashed, constraint=false]" : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+void fig4(const std::string& dir) {
+  // One special edge of the Q_4 embedding and its whole bundle.
+  FILE* f = open_out(dir, "fig4.dot");
+  const auto emb = theorem1_cycle_embedding(4);
+  // Pick a column edge: guest edge whose host endpoints differ in a row dim.
+  std::size_t pick = 0;
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const Edge& ge = emb.guest().edge(e);
+    if (((emb.host_of(ge.from) ^ emb.host_of(ge.to)) & 0b11u) == 0) {
+      pick = e;
+      break;
+    }
+  }
+  std::fprintf(f,
+               "// Figure 4: the length-three paths widening one special\n"
+               "// edge (plus the direct edge).\n"
+               "digraph fig4 {\n  rankdir=LR;\n"
+               "  node [shape=circle, fontname=monospace];\n");
+  const char* colors[] = {"red", "blue", "darkgreen", "orange", "purple"};
+  const auto bundle = emb.paths(pick);
+  for (std::size_t p = 0; p < bundle.size(); ++p) {
+    for (std::size_t i = 0; i + 1 < bundle[p].size(); ++i) {
+      std::fprintf(f, "  \"%u\" -> \"%u\" [color=%s];\n", bundle[p][i],
+                   bundle[p][i + 1], colors[p % 5]);
+    }
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace hyperpath
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  hyperpath::fig1(dir);
+  hyperpath::fig2(dir);
+  hyperpath::fig3(dir);
+  hyperpath::fig4(dir);
+  return 0;
+}

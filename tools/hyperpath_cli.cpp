@@ -1,0 +1,154 @@
+// hyperpath command-line inspector.
+//
+//   hyperpath_cli cycle <n>             Theorem 1/2 metrics + measured costs
+//   hyperpath_cli grid  <torus|grid> <side>...   grid embedding metrics
+//   hyperpath_cli ccc   <n>             Theorem 3 multicopy metrics
+//   hyperpath_cli decomp <n>            Hamiltonian decomposition summary
+//   hyperpath_cli moments <n>           moment table of Q_n
+//   hyperpath_cli faults <n> <count> [seed]   fault-tolerance snapshot
+//
+// A quick way to poke at the library without writing code.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/moment.hpp"
+#include "ccc/ccc_embed.hpp"
+#include "core/cycle_multipath.hpp"
+#include "core/grid_multipath.hpp"
+#include "embed/classical.hpp"
+#include "hamdecomp/decomposition.hpp"
+#include "sim/faults.hpp"
+#include "sim/phase.hpp"
+
+namespace hyperpath {
+namespace {
+
+int cmd_cycle(int n) {
+  if (!cycle_multipath_supported(n)) {
+    std::fprintf(stderr, "n = %d unsupported (need ⌊n/4⌋ a power of two)\n",
+                 n);
+    return 1;
+  }
+  const auto t1 = theorem1_cycle_embedding(n);
+  std::printf("Theorem 1 (2^%d-cycle): width %d, dilation %d, load %d, "
+              "congestion %d\n",
+              n, t1.width(), t1.dilation(), t1.load(), t1.congestion());
+  std::printf("  ⌊n/2⌋-packet cost: %d\n",
+              measure_phase_cost(t1, n / 2).makespan);
+  const auto t2 = theorem2_cycle_embedding(n);
+  std::printf("Theorem 2 (2^%d-cycle): width %d, dilation %d, load %d\n",
+              n + 1, t2.width(), t2.dilation(), t2.load());
+  const auto r = measure_phase_cost(t2, t2.width());
+  std::printf("  w-packet cost: %d, link utilization:", r.makespan);
+  for (double u : r.utilization) std::printf(" %.3f", u);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_grid(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: grid <torus|grid> <side>...\n");
+    return 1;
+  }
+  GridSpec spec;
+  spec.wrap = !std::strcmp(argv[0], "torus");
+  for (int i = 1; i < argc; ++i) {
+    spec.sides.push_back(static_cast<Node>(std::atoi(argv[i])));
+  }
+  if (!grid_multipath_supported(spec)) {
+    std::fprintf(stderr, "unsupported grid spec\n");
+    return 1;
+  }
+  const auto emb = grid_multipath_embedding(spec);
+  std::printf("%s in Q_%d: width %d, dilation %d, load %d, expansion %.3g\n",
+              spec.wrap ? "torus" : "grid", emb.host().dims(), emb.width(),
+              emb.dilation(), emb.load(), emb.expansion());
+  std::printf("  2-packet phase cost: %d\n",
+              measure_phase_cost(emb, 2).makespan);
+  return 0;
+}
+
+int cmd_ccc(int n) {
+  const auto emb = ccc_multicopy_embedding(n);
+  std::printf("Theorem 3: %d copies of CCC_%d in Q_%d — dilation %d, "
+              "edge-congestion %d\n",
+              emb.num_copies(), n, emb.host().dims(), emb.dilation(),
+              emb.edge_congestion());
+  return 0;
+}
+
+int cmd_decomp(int n) {
+  const auto& d = hamiltonian_decomposition(n);
+  std::printf("Q_%d: %zu Hamiltonian cycles", n, d.cycles.size());
+  if (!d.matching.empty()) {
+    std::printf(" + perfect matching (%zu edges)", d.matching.size());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < d.cycles.size() && n <= 4; ++i) {
+    std::printf("  cycle %zu:", i);
+    for (Node v : d.cycles[i]) std::printf(" %u", v);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_moments(int n) {
+  std::printf("moments of Q_%d (Definition 1):\n", n);
+  for (Node v = 0; v < (Node{1} << n); ++v) {
+    std::printf("%3u → %u%s", v, moment(v), (v % 8 == 7) ? "\n" : "   ");
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_faults(int n, int count, std::uint64_t seed) {
+  if (!cycle_multipath_supported(n)) {
+    std::fprintf(stderr, "n = %d unsupported\n", n);
+    return 1;
+  }
+  const auto emb = theorem1_cycle_embedding(n);
+  Rng rng(seed);
+  const auto f = FaultSet::random(n, count, rng);
+  int dead = 0, degraded = 0;
+  for (const auto& d : deliver_phase(f, emb)) {
+    dead += (d.paths_alive == 0);
+    degraded += (d.paths_alive > 0 && d.paths_alive < d.paths_total);
+  }
+  std::printf("%d faults on Q_%d (width %d): %d edges degraded, %d dead of "
+              "%zu\n",
+              count, n, emb.width(), degraded, dead,
+              emb.guest().num_edges());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyperpath
+
+int main(int argc, char** argv) {
+  using namespace hyperpath;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s cycle|grid|ccc|decomp|moments|faults ...\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "cycle" && argc >= 3) return cmd_cycle(std::atoi(argv[2]));
+    if (cmd == "grid") return cmd_grid(argc - 2, argv + 2);
+    if (cmd == "ccc" && argc >= 3) return cmd_ccc(std::atoi(argv[2]));
+    if (cmd == "decomp" && argc >= 3) return cmd_decomp(std::atoi(argv[2]));
+    if (cmd == "moments" && argc >= 3) return cmd_moments(std::atoi(argv[2]));
+    if (cmd == "faults" && argc >= 4) {
+      return cmd_faults(std::atoi(argv[2]), std::atoi(argv[3]),
+                        argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown or incomplete command '%s'\n", cmd.c_str());
+  return 1;
+}
