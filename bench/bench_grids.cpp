@@ -7,7 +7,9 @@
 // the paper itself lists unequal sides as open in Section 9).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "bench/table.hpp"
 #include "core/grid_multipath.hpp"
@@ -25,7 +27,7 @@ std::string spec_name(const GridSpec& s) {
   return out + (s.wrap ? " torus" : " grid");
 }
 
-void print_table() {
+void print_table(bench::Report& report) {
   bench::Table t("E5: grid/torus multipath embeddings (Corollary 1)",
                  {"guest", "host dims", "width", "load", "expansion",
                   "cost@⌊a/2⌋ pkts (paper: 3)"});
@@ -33,14 +35,29 @@ void print_table() {
       {{16, 16}, true},   {{16, 16}, false},  {{32, 32}, true},
       {{16, 16, 16}, true}, {{10, 16}, false}, {{20, 30}, false},
   };
+  int built = 0, worst_cost = 0;
+  double worst_expansion = 0;
   for (const auto& spec : specs) {
     if (!grid_multipath_supported(spec)) continue;
-    const auto emb = grid_multipath_embedding(spec);
+    const auto emb = [&] {
+      obs::ScopedTimer timer("construct");
+      return grid_multipath_embedding(spec);
+    }();
+    obs::ScopedTimer timer("simulate");
     const auto r = measure_phase_cost(emb, 2);
+    ++built;
+    worst_cost = std::max(worst_cost, r.makespan);
+    worst_expansion = std::max(worst_expansion, emb.expansion());
     t.row(spec_name(spec), emb.host().dims(), emb.width(), emb.load(),
           emb.expansion(), r.makespan);
   }
   t.print();
+  report.param("specs", static_cast<int>(specs.size()));
+  report.param("packets_per_edge", 2);
+  report.metric("embeddings_built", built);
+  report.metric("worst_phase_cost", worst_cost);
+  report.metric("worst_expansion", worst_expansion);
+  report.table(t);
 }
 
 void BM_GridConstruct(benchmark::State& state) {
@@ -63,7 +80,8 @@ BENCHMARK(BM_GridPhase);
 }  // namespace hyperpath
 
 int main(int argc, char** argv) {
-  hyperpath::print_table();
+  hyperpath::bench::Report report("grids", &argc, argv);
+  hyperpath::print_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

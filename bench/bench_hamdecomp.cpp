@@ -25,7 +25,7 @@ void print_table() {
     const auto r = measure_phase_cost(emb, 1);
     t.row(n, d.cycles.size(), d.matching.size(), emb.num_copies(),
           emb.dilation(), emb.edge_congestion(), r.makespan,
-          r.utilization.empty() ? 0.0 : r.utilization[0]);
+          r.utilization.empty() ? 0.0 : r.utilization.profile()[0]);
   }
   t.print();
 }

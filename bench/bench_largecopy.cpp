@@ -24,14 +24,14 @@ void print_table() {
       const auto r = measure_phase_cost(cyc, 1);
       t.row("directed cycle", n, cyc.guest().num_nodes(), cyc.load(),
             cyc.dilation(), cyc.congestion(), r.makespan,
-            r.utilization.empty() ? 0.0 : r.utilization[0]);
+            r.utilization.empty() ? 0.0 : r.utilization.profile()[0]);
     }
     for (int n : {4, 6}) {
       const auto ccc = largecopy_ccc(n);
       const auto r = measure_phase_cost(ccc, 1);
       t.row("CCC", n, ccc.guest().num_nodes(), ccc.load(), ccc.dilation(),
             ccc.congestion(), r.makespan,
-            r.utilization.empty() ? 0.0 : r.utilization[0]);
+            r.utilization.empty() ? 0.0 : r.utilization.profile()[0]);
       const auto bf = largecopy_butterfly(n);
       t.row("butterfly", n, bf.guest().num_nodes(), bf.load(), bf.dilation(),
             bf.congestion(), measure_phase_cost(bf, 1).makespan, "");

@@ -2,8 +2,13 @@
 //
 // Not a paper experiment — this measures the simulator itself: the sharded
 // parallel store-and-forward simulator must match the serial one bit for
-// bit (tests enforce that) and should win wall-clock on large phases.
+// bit (tests enforce that) and should win wall-clock on large phases.  The
+// table also measures tracing overhead: a traced run (ring-buffer sink)
+// against the untraced baseline, and confirms makespans agree.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
 
 #include "bench/table.hpp"
 #include "core/cycle_multipath.hpp"
@@ -12,6 +17,50 @@
 
 namespace hyperpath {
 namespace {
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_table(bench::Report& report) {
+  bench::Table t("E15: parallel simulator — serial vs sharded vs traced",
+                 {"n", "packets", "makespan", "serial ms", "parallel ms (4t)",
+                  "speedup", "traced ms", "trace events"});
+  for (int n : {10, 16}) {
+    const auto emb = [&] {
+      obs::ScopedTimer timer("construct");
+      return theorem1_cycle_embedding(n);
+    }();
+    const auto packets = phase_packets(emb, n);
+    StoreForwardSim serial(n);
+    ParallelStoreForwardSim parallel(n, 4);
+
+    SimResult rs, rp, rt;
+    obs::RingBufferSink ring;
+    obs::ScopedTimer timer("simulate");
+    const double s_serial = seconds_of([&] { rs = serial.run(packets); });
+    const double s_par = seconds_of([&] { rp = parallel.run(packets); });
+    const double s_traced = seconds_of([&] {
+      rt = serial.run(packets, Arbitration::kFifo, 1 << 22, &ring);
+    });
+    if (rs.makespan != rp.makespan || rs.makespan != rt.makespan) {
+      std::fprintf(stderr, "FATAL: simulator variants disagree on n=%d\n", n);
+      std::exit(1);
+    }
+    t.row(n, packets.size(), rs.makespan, s_serial * 1e3, s_par * 1e3,
+          s_serial / s_par, s_traced * 1e3, ring.total());
+    report.metric("serial_seconds_n" + std::to_string(n), s_serial);
+    report.metric("parallel_seconds_n" + std::to_string(n), s_par);
+    report.metric("traced_seconds_n" + std::to_string(n), s_traced);
+    report.metric("trace_events_n" + std::to_string(n), ring.total());
+  }
+  t.print();
+  report.param("threads", 4);
+  report.table(t);
+}
 
 void BM_SerialPhase(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -41,7 +90,26 @@ BENCHMARK(BM_ParallelPhase)
     ->Args({16, 4})
     ->Unit(benchmark::kMillisecond);
 
+void BM_TracedSerialPhase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto emb = theorem1_cycle_embedding(n);
+  const auto packets = phase_packets(emb, n);
+  StoreForwardSim sim(n);
+  obs::RingBufferSink ring;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.run(packets, Arbitration::kFifo, 1 << 22, &ring).makespan);
+  }
+}
+BENCHMARK(BM_TracedSerialPhase)->Arg(10)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace hyperpath
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hyperpath::bench::Report report("parallel_sim", &argc, argv);
+  hyperpath::print_table(report);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -5,6 +5,9 @@
 // staged direct-path schedule.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "bench/table.hpp"
 #include "core/cycle_multipath.hpp"
 #include "core/lower_bounds.hpp"
@@ -13,23 +16,35 @@
 namespace hyperpath {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   bench::Table t(
       "E2: Theorem 1 — width-⌊n/2⌋ cycle embeddings",
       {"n", "width built", "⌊n/2⌋", "load", "dilation",
        "⌊n/2⌋-pkt cost (paper: 3)", "(2k+2)-pkt cost (paper: 3)",
        "3-step slot slack"});
-  for (int n : {4, 5, 6, 7, 8, 9, 10, 11, 16}) {
-    const auto emb = theorem1_cycle_embedding(n);
+  const std::vector<int> dims = {4, 5, 6, 7, 8, 9, 10, 11, 16};
+  int worst_cost = 0;
+  for (int n : dims) {
+    const auto emb = [&] {
+      obs::ScopedTimer timer("construct");
+      return theorem1_cycle_embedding(n);
+    }();
     const int k = n / 4;
     StoreForwardSim sim(n);
+    obs::ScopedTimer timer("simulate");
     const int cost_halfn = measure_phase_cost(emb, n / 2).makespan;
     const int cost_2k2 =
         sim.run(theorem1_schedule_packets(emb, 2 * k + 2)).makespan;
+    worst_cost = std::max({worst_cost, cost_halfn, cost_2k2});
     t.row(n, emb.width(), n / 2, emb.load(), emb.dilation(), cost_halfn,
           cost_2k2, edge_slot_slack(emb, 3));
   }
   t.print();
+  report.param("dims_min", dims.front());
+  report.param("dims_max", dims.back());
+  report.metric("worst_phase_cost", worst_cost);
+  report.metric("paper_claimed_cost", 3);
+  report.table(t);
 }
 
 void BM_Theorem1Construct(benchmark::State& state) {
@@ -53,7 +68,8 @@ BENCHMARK(BM_Theorem1Phase)->Arg(8)->Arg(10);
 }  // namespace hyperpath
 
 int main(int argc, char** argv) {
-  hyperpath::print_table();
+  hyperpath::bench::Report report("theorem1", &argc, argv);
+  hyperpath::print_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

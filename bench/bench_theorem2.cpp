@@ -25,7 +25,7 @@ void print_table() {
     const int w_paper = (n % 4 <= 1) ? n / 2 : n / 2 - 1;
     const auto r = measure_phase_cost(emb, 2 * k);
     double min_util = 1.0;
-    for (double u : r.utilization) min_util = std::min(min_util, u);
+    for (double u : r.utilization.profile()) min_util = std::min(min_util, u);
     t.row(n, n % 4, emb.width(), w_paper, r.makespan, min_util,
           lemma3_max_cost3_packets(n));
   }

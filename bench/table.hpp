@@ -1,14 +1,28 @@
-// Shared table printer for the benchmark harness.
+// Shared table printer and JSON exporter for the benchmark harness.
 //
 // Every bench binary regenerates one experiment row from DESIGN.md's index:
 // it prints the measured table (the paper's "shape" — who wins, by what
 // factor, where bounds sit) and then runs google-benchmark timings for the
 // construction/simulation kernels.
+//
+// JSON export: constructing a bench::Report strips a `--json [path]` flag
+// from argv (before benchmark::Initialize sees it).  When the flag is
+// present the report writes one machine-readable record — params, metrics,
+// every registered table, and the wall-clock timer spans accumulated in
+// obs::MetricsRegistry — to `path` (default BENCH_<experiment>.json), so
+// perf trajectories can be tracked across PRs instead of eyeballed.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace hyperpath::bench {
 
@@ -24,13 +38,22 @@ class Table {
     rows_.push_back(std::move(r));
   }
 
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   void print() const {
-    std::vector<std::size_t> width(columns_.size());
+    // Width covers the widest row, not just the header, so a row with more
+    // cells than columns renders under an empty heading instead of indexing
+    // past the width vector; short rows are padded when printed.
+    std::size_t ncols = columns_.size();
+    for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> width(ncols, 0);
     for (std::size_t c = 0; c < columns_.size(); ++c) {
       width[c] = columns_[c].size();
     }
     for (const auto& r : rows_) {
-      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
         width[c] = std::max(width[c], r[c].size());
       }
     }
@@ -60,8 +83,9 @@ class Table {
 
   static void print_row(const std::vector<std::string>& r,
                         const std::vector<std::size_t>& width) {
-    for (std::size_t c = 0; c < r.size(); ++c) {
-      std::printf("%-*s  ", static_cast<int>(width[c]), r[c].c_str());
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const char* cell = c < r.size() ? r[c].c_str() : "";
+      std::printf("%-*s  ", static_cast<int>(width[c]), cell);
     }
     std::printf("\n");
   }
@@ -69,6 +93,135 @@ class Table {
   std::string title_;
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Machine-readable record of one bench run:
+///   {"experiment":..., "params":{...}, "metrics":{...},
+///    "tables":[{"title":..., "columns":[...], "rows":[[...]]}],
+///    "timings":{"name":{"seconds":...,"count":...}}}
+/// Written on destruction when `--json [path]` was passed.
+class Report {
+ public:
+  /// Strips `--json`, `--json <path>` or `--json=<path>` from argv.
+  Report(std::string experiment, int* argc, char** argv)
+      : experiment_(std::move(experiment)) {
+    for (int i = 1; i < *argc; ++i) {
+      const char* a = argv[i];
+      int consumed = 0;
+      if (!std::strncmp(a, "--json=", 7)) {
+        path_ = a + 7;
+        consumed = 1;
+      } else if (!std::strcmp(a, "--json")) {
+        if (i + 1 < *argc && argv[i + 1][0] != '-') {
+          path_ = argv[i + 1];
+          consumed = 2;
+        } else {
+          consumed = 1;
+        }
+      }
+      if (consumed == 0) continue;
+      enabled_ = true;
+      if (path_.empty()) path_ = "BENCH_" + experiment_ + ".json";
+      for (int j = i; j + consumed < *argc; ++j) argv[j] = argv[j + consumed];
+      *argc -= consumed;
+      break;
+    }
+  }
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  ~Report() {
+    if (enabled_) write();
+  }
+
+  bool enabled() const { return enabled_; }
+  const std::string& path() const { return path_; }
+
+  void param(const std::string& key, const std::string& v) {
+    params_.emplace_back(key, "\"" + obs::json_escape(v) + "\"");
+  }
+  void param(const std::string& key, const char* v) {
+    param(key, std::string(v));
+  }
+  template <typename T>
+  void param(const std::string& key, T v) {
+    params_.emplace_back(key, number(v));
+  }
+
+  template <typename T>
+  void metric(const std::string& key, T v) {
+    metrics_.emplace_back(key, number(v));
+  }
+
+  /// Registers a table for export (call after the table's rows are final).
+  void table(const Table& t) { tables_.push_back(t); }
+
+  void write() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("experiment", experiment_);
+    w.key("params").begin_object();
+    for (const auto& [k, v] : params_) w.key(k).raw_value(v);
+    w.end_object();
+    w.key("metrics").begin_object();
+    for (const auto& [k, v] : metrics_) w.key(k).raw_value(v);
+    w.end_object();
+    w.key("tables").begin_array();
+    for (const Table& t : tables_) {
+      w.begin_object();
+      w.field("title", t.title());
+      w.key("columns").begin_array();
+      for (const auto& c : t.columns()) w.value(c);
+      w.end_array();
+      w.key("rows").begin_array();
+      for (const auto& r : t.rows()) {
+        w.begin_array();
+        for (const auto& cell : r) w.value(cell);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("timings").begin_object();
+    for (const auto& span : obs::MetricsRegistry::global().timings()) {
+      w.key(span.name).begin_object();
+      w.field("seconds", span.seconds);
+      w.field("count", span.count);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+
+    if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
+      std::fputs(w.str().c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  template <typename T>
+  static std::string number(T v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.17g", static_cast<double>(v));
+      return buf;
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::string experiment_;
+  std::string path_;
+  bool enabled_ = false;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<Table> tables_;
 };
 
 }  // namespace hyperpath::bench

@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "obs/json.hpp"
+
+namespace hyperpath::obs {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRelease: return "release";
+    case TraceEventKind::kTransmit: return "transmit";
+    case TraceEventKind::kStall: return "stall";
+    case TraceEventKind::kQueueDepth: return "queue_depth";
+    case TraceEventKind::kArrive: return "arrive";
+    case TraceEventKind::kDrop: return "drop";
+    case TraceEventKind::kWormStart: return "worm_start";
+    case TraceEventKind::kWormDone: return "worm_done";
+  }
+  return "unknown";
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void RingBufferSink::on_events(std::span<const TraceEvent> events) {
+  for (const TraceEvent& e : events) {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+    size_ = std::min(size_ + 1, ring_.size());
+    ++total_;
+    ++by_kind_[static_cast<std::size_t>(e.kind)];
+  }
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : path_(path), file_(std::fopen(path.c_str(), "w")) {
+  HP_CHECK(file_ != nullptr, "cannot open trace file " + path);
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_) std::fclose(file_);
+}
+
+void JsonlFileSink::on_events(std::span<const TraceEvent> events) {
+  for (const TraceEvent& e : events) {
+    std::fprintf(file_, "{\"step\":%d,\"kind\":\"%s\"", e.step,
+                 to_string(e.kind));
+    if (e.packet != TraceEvent::kNoPacket) {
+      std::fprintf(file_, ",\"packet\":%u", e.packet);
+    }
+    if (e.link != TraceEvent::kNoLink) {
+      std::fprintf(file_, ",\"link\":%llu",
+                   static_cast<unsigned long long>(e.link));
+    }
+    std::fprintf(file_, ",\"value\":%llu}\n",
+                 static_cast<unsigned long long>(e.value));
+    ++total_;
+  }
+}
+
+void JsonlFileSink::flush() { std::fflush(file_); }
+
+void StepTrace::end_step() {
+  if (!enabled() || buf_.empty()) return;
+  std::sort(buf_.begin(), buf_.end());
+  sink_->on_events(buf_);
+  buf_.clear();
+}
+
+void StepTrace::finish() {
+  end_step();
+  if (enabled()) sink_->flush();
+}
+
+}  // namespace hyperpath::obs

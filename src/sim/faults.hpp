@@ -12,6 +12,7 @@
 
 #include "base/rng.hpp"
 #include "embed/embedding.hpp"
+#include "obs/trace.hpp"
 #include "sim/packet.hpp"
 
 namespace hyperpath {
@@ -69,7 +70,13 @@ struct DegradedResult {
 /// enter the network — the sender's route computation sees the break), the
 /// others are simulated.  This is the latency picture of a degraded
 /// machine, complementing the static deliver_phase counts.
+///
+/// With a sink attached, each dropped packet emits one kDrop event at step
+/// 0 (packet = its index in the original phase packet list, link = the
+/// first dead link of its route) before the surviving traffic's simulator
+/// trace; packet ids inside the simulator trace index the survivor list.
 DegradedResult run_phase_with_faults(const FaultSet& faults,
-                                     const MultiPathEmbedding& emb, int p);
+                                     const MultiPathEmbedding& emb, int p,
+                                     obs::TraceSink* sink = nullptr);
 
 }  // namespace hyperpath

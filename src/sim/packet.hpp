@@ -12,6 +12,7 @@
 
 #include "base/types.hpp"
 #include "graph/hypercube.hpp"
+#include "obs/metrics.hpp"
 
 namespace hyperpath {
 
@@ -28,8 +29,10 @@ struct SimResult {
   /// every route was trivial).
   int makespan = 0;
 
-  /// Per-step fraction of directed links that transmitted a packet.
-  std::vector<double> utilization;
+  /// Per-step fraction of directed links that transmitted a packet, kept as
+  /// an exact running mean plus a memory-bounded downsampled profile (one
+  /// sample per step would be 1<<22 doubles on long runs).
+  obs::UtilizationProfile utilization;
 
   /// Total packet-hops transmitted.
   std::uint64_t total_transmissions = 0;
@@ -37,12 +40,15 @@ struct SimResult {
   /// Maximum number of packets that ever waited in one link queue.
   std::size_t max_queue = 0;
 
-  double average_utilization() const {
-    if (utilization.empty()) return 0.0;
-    double s = 0;
-    for (double u : utilization) s += u;
-    return s / static_cast<double>(utilization.size());
-  }
+  /// Transmissions per hypercube dimension (size = dims of the host); shows
+  /// which dimensions carry the congestion.
+  std::vector<std::uint64_t> dim_transmissions;
+
+  /// Per-packet latency (arrival step − release step) in exponential
+  /// buckets 1, 2, 4, ...; trivial (single-node) routes are not counted.
+  obs::FixedHistogram latency;
+
+  double average_utilization() const { return utilization.average(); }
 };
 
 }  // namespace hyperpath

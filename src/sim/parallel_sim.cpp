@@ -14,6 +14,9 @@
 
 namespace hyperpath {
 
+using obs::TraceEvent;
+using obs::TraceEventKind;
+
 namespace {
 
 /// A minimal barrier-style worker pool: workers run one job per "round" and
@@ -91,22 +94,36 @@ ParallelStoreForwardSim::ParallelStoreForwardSim(int dims, int threads)
 }
 
 SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
-                                       int max_steps) const {
+                                       int max_steps,
+                                       obs::TraceSink* sink) const {
   for (const Packet& p : packets) {
     HP_CHECK(is_valid_path(host_, p.route), "packet route invalid");
     HP_CHECK(p.release >= 0, "negative release time");
   }
 
+  const int dims = host_.dims();
   const int shards = threads_;
   struct Shard {
     std::unordered_map<std::uint64_t, std::deque<std::uint32_t>> queues;
     std::vector<std::uint32_t> moved;  // per-step output
     std::uint64_t busy = 0;
+    // Whole-run accumulators, merged once after the loop.
+    std::size_t max_queue = 0;
+    std::vector<std::uint64_t> dim_tx;
+    // Tracing state: shard-local event buffer (per step) and per-link
+    // high-water marks.  Every link lives in exactly one shard, so the
+    // marks match the serial simulator's exactly.
+    std::vector<TraceEvent> events;
+    std::unordered_map<std::uint64_t, std::size_t> highwater;
   };
   std::vector<Shard> shard(shards);
+  for (Shard& sh : shard) sh.dim_tx.assign(dims, 0);
   const auto shard_of = [&](std::uint64_t link) {
     return static_cast<int>(link % static_cast<std::uint64_t>(shards));
   };
+
+  obs::StepTrace trace(sink);
+  const bool tracing = trace.enabled();
 
   std::vector<std::uint32_t> hop(packets.size(), 0);
   std::size_t undelivered = 0;
@@ -117,6 +134,7 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
     const std::uint64_t link =
         host_.edge_id(p.route[hop[id]], p.route[hop[id] + 1]);
     shard[shard_of(link)].queues[link].push_back(id);
+    return link;
   };
 
   for (std::uint32_t id = 0; id < packets.size(); ++id) {
@@ -124,7 +142,10 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
     if (p.route.size() <= 1) continue;
     ++undelivered;
     if (p.release == 0) {
-      enqueue(id);
+      const std::uint64_t link = enqueue(id);
+      if (tracing) {
+        trace.record({0, TraceEventKind::kRelease, id, link, 0});
+      }
     } else {
       if (release_at.size() <= static_cast<std::size_t>(p.release)) {
         release_at.resize(p.release + 1);
@@ -134,37 +155,68 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
   }
 
   SimResult result;
+  result.dim_transmissions.assign(dims, 0);
+  result.latency = obs::FixedHistogram::exponential();
   const double total_links = static_cast<double>(host_.num_directed_edges());
   WorkerPool pool(shards);
 
   int step = 0;
-  std::size_t max_queue = 0;
   while (undelivered > 0) {
     HP_CHECK(step < max_steps, "simulation exceeded max_steps");
     if (static_cast<std::size_t>(step) < release_at.size()) {
-      for (std::uint32_t id : release_at[step]) enqueue(id);
+      for (std::uint32_t id : release_at[step]) {
+        const std::uint64_t link = enqueue(id);
+        if (tracing) {
+          trace.record({step, TraceEventKind::kRelease, id, link, 0});
+        }
+      }
     }
 
-    // Parallel arbitration: each shard pops one packet per nonempty queue.
+    // Parallel arbitration: each shard pops one packet per nonempty queue
+    // and records its queue statistics (and trace events) shard-locally.
     pool.run_round([&](int s) {
       Shard& sh = shard[s];
       sh.moved.clear();
       sh.busy = 0;
+      sh.events.clear();
       for (auto& [link, q] : sh.queues) {
         if (q.empty()) continue;
-        sh.moved.push_back(q.front());
+        const std::size_t depth = q.size();
+        sh.max_queue = std::max(sh.max_queue, depth);
+        if (tracing) {
+          std::size_t& high = sh.highwater[link];
+          if (depth > high) {
+            high = depth;
+            sh.events.push_back({step, TraceEventKind::kQueueDepth,
+                                 TraceEvent::kNoPacket, link, depth});
+          }
+        }
+        const std::uint32_t pick = q.front();
         q.pop_front();
         ++sh.busy;
+        ++sh.dim_tx[link % dims];
+        if (tracing) {
+          sh.events.push_back(
+              {step, TraceEventKind::kTransmit, pick, link, depth});
+          if (depth > 1) {
+            sh.events.push_back({step, TraceEventKind::kStall,
+                                 TraceEvent::kNoPacket, link, depth - 1});
+          }
+        }
+        sh.moved.push_back(pick);
       }
     });
 
     // Serial merge in canonical (packet-id) order — identical semantics to
-    // StoreForwardSim's sorted arrival pass.
+    // StoreForwardSim's sorted arrival pass.  Shard trace buffers are
+    // merged here too; StepTrace's canonical sort at end_step() makes the
+    // emitted stream independent of the sharding.
     std::vector<std::uint32_t> moved;
     std::uint64_t busy = 0;
     for (const Shard& sh : shard) {
       moved.insert(moved.end(), sh.moved.begin(), sh.moved.end());
       busy += sh.busy;
+      if (tracing) trace.record(std::span<const TraceEvent>(sh.events));
     }
     std::sort(moved.begin(), moved.end());
     result.total_transmissions += busy;
@@ -174,28 +226,31 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
       const Packet& p = packets[id];
       if (hop[id] + 1 == p.route.size()) {
         --undelivered;
+        const std::uint64_t lat =
+            static_cast<std::uint64_t>(step + 1 - p.release);
+        result.latency.observe(static_cast<double>(lat));
+        if (tracing) {
+          trace.record({step, TraceEventKind::kArrive, id,
+                        TraceEvent::kNoLink, lat});
+        }
       } else {
         enqueue(id);
       }
     }
 
-    // max_queue bookkeeping (post-arbitration depth + arrivals is what the
-    // serial sim reports pre-pop; we track the pre-pop depth next step via
-    // the enqueue sizes — approximate by scanning shards periodically).
-    if ((step & 63) == 0) {
-      for (const Shard& sh : shard) {
-        for (const auto& [link, q] : sh.queues) {
-          max_queue = std::max(max_queue, q.size() + 1);
-        }
-      }
-    }
-
-    result.utilization.push_back(static_cast<double>(busy) / total_links);
+    result.utilization.add(static_cast<double>(busy) / total_links);
+    trace.end_step();
     ++step;
   }
 
+  trace.finish();
   result.makespan = step;
-  result.max_queue = max_queue;
+  for (const Shard& sh : shard) {
+    result.max_queue = std::max(result.max_queue, sh.max_queue);
+    for (int d = 0; d < dims; ++d) {
+      result.dim_transmissions[d] += sh.dim_tx[d];
+    }
+  }
   return result;
 }
 

@@ -5,12 +5,18 @@
 // (by link-id hash) and arrivals are buffered per worker and merged in a
 // fixed order at the step barrier.  The result is bit-identical to
 // StoreForwardSim (tests enforce this) — parallelism changes wall-clock
-// time only, never the measured makespan or utilization.
+// time only, never the measured makespan, utilization or queue statistics.
+//
+// Tracing: each shard records its events into a shard-local buffer; the
+// buffers are merged at the step barrier and sorted into the canonical
+// intra-step order, so a traced parallel run emits a byte-identical event
+// stream to the serial simulator (also enforced by tests).
 //
 // Worth using from ~10^5 packets upward (Theorem 1 phases on Q_16 and the
 // relaxation sweeps); below that the barrier overhead dominates.
 #pragma once
 
+#include "obs/trace.hpp"
 #include "sim/packet.hpp"
 #include "sim/store_forward.hpp"
 
@@ -23,7 +29,8 @@ class ParallelStoreForwardSim {
 
   /// FIFO arbitration only (farthest-first would need cross-shard state).
   SimResult run(const std::vector<Packet>& packets,
-                int max_steps = 1 << 22) const;
+                int max_steps = 1 << 22,
+                obs::TraceSink* sink = nullptr) const;
 
  private:
   Hypercube host_;

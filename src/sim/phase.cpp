@@ -49,15 +49,15 @@ std::vector<Packet> phase_packets(const KCopyEmbedding& emb, int p) {
 }
 
 SimResult measure_phase_cost(const MultiPathEmbedding& emb, int p,
-                             Arbitration policy) {
+                             Arbitration policy, obs::TraceSink* sink) {
   StoreForwardSim sim(emb.host().dims());
-  return sim.run(phase_packets(emb, p), policy);
+  return sim.run(phase_packets(emb, p), policy, 1 << 22, sink);
 }
 
 SimResult measure_phase_cost(const KCopyEmbedding& emb, int p,
-                             Arbitration policy) {
+                             Arbitration policy, obs::TraceSink* sink) {
   StoreForwardSim sim(emb.host().dims());
-  return sim.run(phase_packets(emb, p), policy);
+  return sim.run(phase_packets(emb, p), policy, 1 << 22, sink);
 }
 
 }  // namespace hyperpath

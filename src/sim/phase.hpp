@@ -28,10 +28,13 @@ std::vector<Packet> phase_packets(const MultiPathEmbedding& emb, int p);
 std::vector<Packet> phase_packets(const KCopyEmbedding& emb, int p);
 
 /// Runs one phase and returns the measured result (makespan = p-packet
-/// cost of this schedule).
+/// cost of this schedule).  An optional trace sink receives the simulator's
+/// step-level events.
 SimResult measure_phase_cost(const MultiPathEmbedding& emb, int p,
-                             Arbitration policy = Arbitration::kFifo);
+                             Arbitration policy = Arbitration::kFifo,
+                             obs::TraceSink* sink = nullptr);
 SimResult measure_phase_cost(const KCopyEmbedding& emb, int p,
-                             Arbitration policy = Arbitration::kFifo);
+                             Arbitration policy = Arbitration::kFifo,
+                             obs::TraceSink* sink = nullptr);
 
 }  // namespace hyperpath

@@ -8,10 +8,14 @@
 
 namespace hyperpath {
 
+using obs::TraceEvent;
+using obs::TraceEventKind;
+
 StoreForwardSim::StoreForwardSim(int dims) : host_(dims) {}
 
 SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
-                               Arbitration policy, int max_steps) const {
+                               Arbitration policy, int max_steps,
+                               obs::TraceSink* sink) const {
   // Validate routes up front.
   for (const Packet& p : packets) {
     HP_CHECK(is_valid_path(host_, p.route), "packet route invalid");
@@ -26,6 +30,11 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
   std::unordered_map<std::uint64_t, Waiting> queues;
   queues.reserve(packets.size());
 
+  obs::StepTrace trace(sink);
+  // Per-link high-water marks, tracked only when tracing (the global
+  // max_queue needs no per-link state).
+  std::unordered_map<std::uint64_t, std::size_t> highwater;
+
   std::vector<std::uint32_t> hop(packets.size(), 0);  // next edge index
   std::size_t undelivered = 0;
 
@@ -36,6 +45,7 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
     const std::uint64_t link = host_.edge_id(p.route[hop[id]],
                                              p.route[hop[id] + 1]);
     queues[link].q.push_back(id);
+    return link;
   };
 
   for (std::uint32_t id = 0; id < packets.size(); ++id) {
@@ -43,7 +53,10 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
     if (p.route.size() <= 1) continue;  // already at destination
     ++undelivered;
     if (p.release == 0) {
-      enqueue(id);
+      const std::uint64_t link = enqueue(id);
+      if (trace.enabled()) {
+        trace.record({0, TraceEventKind::kRelease, id, link, 0});
+      }
     } else {
       if (release_at.size() <= static_cast<std::size_t>(p.release)) {
         release_at.resize(p.release + 1);
@@ -53,14 +66,22 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
   }
 
   SimResult result;
+  result.dim_transmissions.assign(host_.dims(), 0);
+  result.latency = obs::FixedHistogram::exponential();
   const double total_links = static_cast<double>(host_.num_directed_edges());
+  const int dims = host_.dims();
 
   int step = 0;
   std::size_t max_queue = 0;
   while (undelivered > 0) {
     HP_CHECK(step < max_steps, "simulation exceeded max_steps");
     if (static_cast<std::size_t>(step) < release_at.size()) {
-      for (std::uint32_t id : release_at[step]) enqueue(id);
+      for (std::uint32_t id : release_at[step]) {
+        const std::uint64_t link = enqueue(id);
+        if (trace.enabled()) {
+          trace.record({step, TraceEventKind::kRelease, id, link, 0});
+        }
+      }
     }
 
     // One transmission per nonempty link queue.
@@ -69,7 +90,16 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
     moved.reserve(queues.size());
     for (auto& [link, w] : queues) {
       if (w.q.empty()) continue;
-      max_queue = std::max(max_queue, w.q.size());
+      const std::size_t depth = w.q.size();
+      max_queue = std::max(max_queue, depth);
+      if (trace.enabled()) {
+        std::size_t& high = highwater[link];
+        if (depth > high) {
+          high = depth;
+          trace.record({step, TraceEventKind::kQueueDepth,
+                        TraceEvent::kNoPacket, link, depth});
+        }
+      }
       std::uint32_t pick;
       if (policy == Arbitration::kFifo) {
         pick = w.q.front();
@@ -91,6 +121,14 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
       }
       ++busy;
       ++result.total_transmissions;
+      ++result.dim_transmissions[link % dims];
+      if (trace.enabled()) {
+        trace.record({step, TraceEventKind::kTransmit, pick, link, depth});
+        if (depth > 1) {
+          trace.record({step, TraceEventKind::kStall, TraceEvent::kNoPacket,
+                        link, depth - 1});
+        }
+      }
       moved.push_back(pick);
     }
 
@@ -105,15 +143,24 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
       const Packet& p = packets[id];
       if (hop[id] + 1 == p.route.size()) {
         --undelivered;
+        const std::uint64_t lat =
+            static_cast<std::uint64_t>(step + 1 - p.release);
+        result.latency.observe(static_cast<double>(lat));
+        if (trace.enabled()) {
+          trace.record({step, TraceEventKind::kArrive, id,
+                        TraceEvent::kNoLink, lat});
+        }
       } else {
         enqueue(id);
       }
     }
 
-    result.utilization.push_back(static_cast<double>(busy) / total_links);
+    result.utilization.add(static_cast<double>(busy) / total_links);
+    trace.end_step();
     ++step;
   }
 
+  trace.finish();
   result.makespan = step;
   result.max_queue = max_queue;
   return result;

@@ -7,9 +7,13 @@
 //   * kFarthestFirst — the waiting packet with the most remaining hops goes
 //                      first (a common latency-improving heuristic).
 //
-// The simulator is deterministic for a fixed packet list and policy.
+// The simulator is deterministic for a fixed packet list and policy.  An
+// optional obs::TraceSink receives step-level events (releases, transmits,
+// stalls, queue high-water marks, arrivals); with a null sink no event is
+// ever constructed.
 #pragma once
 
+#include "obs/trace.hpp"
 #include "sim/packet.hpp"
 
 namespace hyperpath {
@@ -23,9 +27,11 @@ class StoreForwardSim {
 
   /// Runs the packet set to completion and returns the measured result.
   /// Throws if any route is invalid or the simulation exceeds `max_steps`.
+  /// With a sink attached, emits the canonical step-level trace.
   SimResult run(const std::vector<Packet>& packets,
                 Arbitration policy = Arbitration::kFifo,
-                int max_steps = 1 << 22) const;
+                int max_steps = 1 << 22,
+                obs::TraceSink* sink = nullptr) const;
 
  private:
   Hypercube host_;

@@ -6,10 +6,13 @@
 
 namespace hyperpath {
 
+using obs::TraceEvent;
+using obs::TraceEventKind;
+
 WormholeSim::WormholeSim(int dims) : host_(dims) {}
 
-WormResult WormholeSim::run(const std::vector<Worm>& worms,
-                            int max_steps) const {
+WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
+                            obs::TraceSink* sink) const {
   for (const Worm& w : worms) {
     HP_CHECK(is_valid_path(host_, w.route), "worm route invalid");
     HP_CHECK(w.flits >= 1, "worm needs at least one flit");
@@ -18,6 +21,7 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms,
 
   WormResult result;
   result.completion.assign(worms.size(), 0);
+  obs::StepTrace trace(sink);
 
   std::unordered_set<std::uint64_t> held;  // link ids currently in use
 
@@ -52,16 +56,36 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms,
       const Worm& w = worms[i];
       if (s.done || s.started || w.release >= step) continue;
       bool free = true;
+      std::uint64_t blocked_on = TraceEvent::kNoLink;
       for (std::size_t h = 0; free && h + 1 < w.route.size(); ++h) {
-        free = !held.contains(host_.edge_id(w.route[h], w.route[h + 1]));
+        const std::uint64_t link = host_.edge_id(w.route[h], w.route[h + 1]);
+        if (held.contains(link)) {
+          free = false;
+          blocked_on = link;
+        }
       }
-      if (!free) continue;
+      if (!free) {
+        if (trace.enabled()) {
+          trace.record({step, TraceEventKind::kStall, i, blocked_on, 0});
+        }
+        continue;
+      }
       const int links = static_cast<int>(w.route.size()) - 1;
       for (std::size_t h = 0; h + 1 < w.route.size(); ++h) {
-        held.insert(host_.edge_id(w.route[h], w.route[h + 1]));
+        const std::uint64_t link = host_.edge_id(w.route[h], w.route[h + 1]);
+        held.insert(link);
+        if (trace.enabled()) {
+          trace.record({step, TraceEventKind::kTransmit, i, link,
+                        static_cast<std::uint64_t>(w.flits)});
+        }
       }
       s.started = true;
       s.completion = step + links + w.flits - 2;
+      if (trace.enabled()) {
+        trace.record({step, TraceEventKind::kWormStart, i,
+                      TraceEvent::kNoLink,
+                      static_cast<std::uint64_t>(w.flits)});
+      }
       result.total_flit_hops +=
           static_cast<std::uint64_t>(w.flits) * static_cast<std::uint64_t>(links);
     }
@@ -72,13 +96,20 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms,
       if (s.done || !s.started || s.completion != step) continue;
       s.done = true;
       result.completion[i] = step;
+      if (trace.enabled()) {
+        trace.record({step, TraceEventKind::kWormDone, i,
+                      TraceEvent::kNoLink,
+                      static_cast<std::uint64_t>(step - worms[i].release)});
+      }
       for (std::size_t h = 0; h + 1 < worms[i].route.size(); ++h) {
         held.erase(host_.edge_id(worms[i].route[h], worms[i].route[h + 1]));
       }
       --active;
     }
+    trace.end_step();
   }
 
+  trace.finish();
   result.makespan = step;
   return result;
 }

@@ -14,11 +14,17 @@
 //
 // Completion time of an unblocked worm with an L-link route and M flits is
 // the textbook L + M − 1.
+//
+// Tracing (optional obs::TraceSink): kWormStart when a message acquires its
+// route (value = flits), one kTransmit per acquired link (value = flits that
+// will stream over it), kStall when a blocked message retries (link = the
+// first busy link), kWormDone on delivery (value = completion − release).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/packet.hpp"
 
 namespace hyperpath {
@@ -41,7 +47,8 @@ class WormholeSim {
   explicit WormholeSim(int dims);
 
   WormResult run(const std::vector<Worm>& worms,
-                 int max_steps = 1 << 22) const;
+                 int max_steps = 1 << 22,
+                 obs::TraceSink* sink = nullptr) const;
 
  private:
   Hypercube host_;

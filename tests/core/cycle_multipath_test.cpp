@@ -108,7 +108,7 @@ TEST(Theorem2, FullLinkUtilizationWhenNDivisibleBy4) {
   const auto emb = theorem2_cycle_embedding(8);
   const auto r = measure_phase_cost(emb, 2 * (8 / 4));
   ASSERT_EQ(r.makespan, 3);
-  for (double u : r.utilization) EXPECT_DOUBLE_EQ(u, 1.0);
+  for (double u : r.utilization.profile()) EXPECT_DOUBLE_EQ(u, 1.0);
 }
 
 TEST(Theorem2, WidthAtLemma3Bound) {

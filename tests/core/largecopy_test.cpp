@@ -35,7 +35,7 @@ TEST(LargeCycle, OnePacketPhaseCostOneAtFullUtilization) {
   const auto emb = largecopy_directed_cycle(6);
   const auto r = measure_phase_cost(emb, 1);
   EXPECT_EQ(r.makespan, 1);
-  EXPECT_DOUBLE_EQ(r.utilization[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.utilization.profile()[0], 1.0);
 }
 
 class UndirectedLargeCycle : public ::testing::TestWithParam<int> {};

@@ -44,15 +44,15 @@ TEST_P(SimProperty, UtilizationBoundedAndConsistent) {
   const auto packets = random_packets(dims, 80, rng);
   const auto r = StoreForwardSim(dims).run(packets);
   const double links = static_cast<double>(Hypercube(dims).num_directed_edges());
-  double total = 0;
-  for (double u : r.utilization) {
+  for (double u : r.utilization.profile()) {
     EXPECT_GE(u, 0.0);
     EXPECT_LE(u, 1.0);
-    total += u * links;
   }
-  // Per-step busy-link counts must sum to total transmissions.
-  EXPECT_NEAR(total, static_cast<double>(r.total_transmissions), 1e-6);
-  EXPECT_EQ(static_cast<int>(r.utilization.size()), r.makespan);
+  // The exact running mean times steps must recover total transmissions.
+  EXPECT_NEAR(r.average_utilization() * links *
+                  static_cast<double>(r.utilization.steps()),
+              static_cast<double>(r.total_transmissions), 1e-6);
+  EXPECT_EQ(static_cast<int>(r.utilization.steps()), r.makespan);
 }
 
 TEST_P(SimProperty, MakespanAtLeastLongestRouteAndRelease) {

@@ -27,7 +27,7 @@ TEST(LargeSweep, Theorem2AtQ16FullUtilization) {
   EXPECT_EQ(emb.width(), 8);
   const auto r = measure_phase_cost(emb, 8);
   EXPECT_EQ(r.makespan, 3);
-  for (double u : r.utilization) EXPECT_DOUBLE_EQ(u, 1.0);
+  for (double u : r.utilization.profile()) EXPECT_DOUBLE_EQ(u, 1.0);
 }
 
 TEST(LargeSweep, Theorem1AtQ17) {

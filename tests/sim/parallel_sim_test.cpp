@@ -29,7 +29,9 @@ void expect_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.makespan, b.makespan);
   EXPECT_EQ(a.total_transmissions, b.total_transmissions);
   EXPECT_EQ(a.utilization, b.utilization);
-  // max_queue is sampled in the parallel sim and intentionally not compared.
+  EXPECT_EQ(a.max_queue, b.max_queue);
+  EXPECT_EQ(a.dim_transmissions, b.dim_transmissions);
+  EXPECT_EQ(a.latency, b.latency);
 }
 
 class ParallelSim : public ::testing::TestWithParam<int> {};

@@ -77,8 +77,8 @@ TEST(Phase, EvenCubeFullUtilization) {
   // 1-packet multicopy phase.
   const auto emb = multicopy_directed_cycles(6);
   const auto r = measure_phase_cost(emb, 1);
-  ASSERT_EQ(r.utilization.size(), 1u);
-  EXPECT_DOUBLE_EQ(r.utilization[0], 1.0);
+  ASSERT_EQ(r.utilization.steps(), 1u);
+  EXPECT_DOUBLE_EQ(r.utilization.profile()[0], 1.0);
 }
 
 }  // namespace

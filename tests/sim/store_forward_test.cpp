@@ -88,8 +88,8 @@ TEST(StoreForward, UtilizationAccounting) {
   Packet p;
   p.route = {0b00, 0b01};
   const auto r = sim.run({p});
-  ASSERT_EQ(r.utilization.size(), 1u);
-  EXPECT_DOUBLE_EQ(r.utilization[0], 1.0 / 8.0);
+  ASSERT_EQ(r.utilization.steps(), 1u);
+  EXPECT_DOUBLE_EQ(r.utilization.profile()[0], 1.0 / 8.0);
   EXPECT_DOUBLE_EQ(r.average_utilization(), 1.0 / 8.0);
 }
 

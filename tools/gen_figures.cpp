@@ -11,6 +11,9 @@
 //              row edges dashed (Figure 3).
 //   fig4.dot — the length-three detour paths of one special edge
 //              (Figure 4).
+//   fig5.csv — per-dimension link traffic of a Theorem 1 phase on Q_8:
+//              dimension, transmissions, share, per-dimension utilization
+//              (not a paper figure; uses the src/obs instrumentation).
 //
 // Render with:  dot -Tpdf fig1.dot -o fig1.pdf
 #include <cstdio>
@@ -19,6 +22,7 @@
 #include "base/gray.hpp"
 #include "base/moment.hpp"
 #include "core/cycle_multipath.hpp"
+#include "sim/phase.hpp"
 
 namespace hyperpath {
 namespace {
@@ -136,6 +140,32 @@ void fig4(const std::string& dir) {
   std::fclose(f);
 }
 
+void fig5(const std::string& dir) {
+  // Per-dimension traffic of a ⌊n/2⌋-packet Theorem 1 phase on Q_8.  The
+  // schedule's row/column field split shows up as unequal dimension use.
+  FILE* f = open_out(dir, "fig5.csv");
+  const int n = 8;
+  const auto emb = theorem1_cycle_embedding(n);
+  const auto r = measure_phase_cost(emb, n / 2);
+  // Each dimension has 2^n directed links, each busy ≤ makespan steps.
+  const double dim_slots =
+      static_cast<double>(emb.host().num_nodes()) *
+      (r.makespan > 0 ? r.makespan : 1);
+  std::fprintf(f, "dimension,transmissions,share,utilization\n");
+  for (std::size_t d = 0; d < r.dim_transmissions.size(); ++d) {
+    const double share =
+        r.total_transmissions
+            ? static_cast<double>(r.dim_transmissions[d]) /
+                  static_cast<double>(r.total_transmissions)
+            : 0.0;
+    std::fprintf(f, "%zu,%llu,%.6f,%.6f\n", d,
+                 static_cast<unsigned long long>(r.dim_transmissions[d]),
+                 share, static_cast<double>(r.dim_transmissions[d]) /
+                            dim_slots);
+  }
+  std::fclose(f);
+}
+
 }  // namespace
 }  // namespace hyperpath
 
@@ -145,5 +175,6 @@ int main(int argc, char** argv) {
   hyperpath::fig2(dir);
   hyperpath::fig3(dir);
   hyperpath::fig4(dir);
+  hyperpath::fig5(dir);
   return 0;
 }

@@ -6,12 +6,26 @@
 //   hyperpath_cli decomp <n>            Hamiltonian decomposition summary
 //   hyperpath_cli moments <n>           moment table of Q_n
 //   hyperpath_cli faults <n> <count> [seed]   fault-tolerance snapshot
+//   hyperpath_cli trace <cycle|grid|ccc> ...  traced phase simulation
+//
+// The trace subcommand runs one phase of the chosen embedding through the
+// store-and-forward simulator with a streaming JSONL trace sink attached:
+//
+//   hyperpath_cli trace cycle 8 [p] [--trace t.jsonl] [--json summary.json]
+//   hyperpath_cli trace grid torus 16 16 [--packets p] [...]
+//   hyperpath_cli trace ccc 4 [p] [...]
+//
+// It dumps the step-level trace (default TRACE_<kind>.jsonl), prints a
+// per-dimension link-utilization summary plus the latency histogram, and
+// with --json writes a machine-readable {experiment, params, metrics,
+// timings} record.
 //
 // A quick way to poke at the library without writing code.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "base/moment.hpp"
 #include "ccc/ccc_embed.hpp"
@@ -19,6 +33,9 @@
 #include "core/grid_multipath.hpp"
 #include "embed/classical.hpp"
 #include "hamdecomp/decomposition.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/faults.hpp"
 #include "sim/phase.hpp"
 
@@ -42,7 +59,7 @@ int cmd_cycle(int n) {
               n + 1, t2.width(), t2.dilation(), t2.load());
   const auto r = measure_phase_cost(t2, t2.width());
   std::printf("  w-packet cost: %d, link utilization:", r.makespan);
-  for (double u : r.utilization) std::printf(" %.3f", u);
+  for (double u : r.utilization.profile()) std::printf(" %.3f", u);
   std::printf("\n");
   return 0;
 }
@@ -123,6 +140,245 @@ int cmd_faults(int n, int count, std::uint64_t seed) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// trace subcommand
+
+struct TraceOptions {
+  std::string trace_path;  // JSONL trace output
+  std::string json_path;   // summary JSON output
+  bool json = false;       // write summary (default path if json_path empty)
+  int packets = -1;        // packets per guest edge (-1 = kind default)
+  std::vector<std::string> positional;
+};
+
+// Accepts --flag value and --flag=value; bare --json selects the default
+// summary path (SUMMARY_<kind>.json), mirroring the bench --json handling.
+TraceOptions parse_trace_args(int argc, char** argv) {
+  TraceOptions opt;
+  const auto next_or_eq = [&](const std::string& a, const std::string& flag,
+                              int& i, std::string* out) {
+    if (a == flag && i + 1 < argc) {
+      *out = argv[++i];
+      return true;
+    }
+    if (a.rfind(flag + "=", 0) == 0) {
+      *out = a.substr(flag.size() + 1);
+      return true;
+    }
+    return false;
+  };
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    std::string v;
+    if (next_or_eq(a, "--trace", i, &v)) {
+      opt.trace_path = v;
+    } else if (a == "--json" && (i + 1 >= argc || argv[i + 1][0] == '-')) {
+      opt.json = true;
+    } else if (next_or_eq(a, "--json", i, &v)) {
+      opt.json = true;
+      opt.json_path = v;
+    } else if (next_or_eq(a, "--packets", i, &v) ||
+               next_or_eq(a, "-p", i, &v)) {
+      opt.packets = std::atoi(v.c_str());
+    } else {
+      opt.positional.push_back(a);
+    }
+  }
+  return opt;
+}
+
+void print_trace_summary(const char* kind, const SimResult& r,
+                         const Hypercube& host,
+                         const obs::JsonlFileSink& sink) {
+  std::printf("%s phase: makespan %d, %llu transmissions, max queue %zu, "
+              "avg utilization %.4f\n",
+              kind, r.makespan,
+              static_cast<unsigned long long>(r.total_transmissions),
+              r.max_queue, r.average_utilization());
+  std::printf("per-dimension transmissions (dimension: count, utilization):\n");
+  const double dim_links =
+      static_cast<double>(host.num_nodes()) * std::max(r.makespan, 1);
+  for (int d = 0; d < host.dims(); ++d) {
+    const auto tx = r.dim_transmissions[d];
+    std::printf("  dim %2d: %10llu  %.4f\n", d,
+                static_cast<unsigned long long>(tx),
+                static_cast<double>(tx) / dim_links);
+  }
+  std::printf("latency: %llu packets, mean %.2f steps, max %.0f\n",
+              static_cast<unsigned long long>(r.latency.count()),
+              r.latency.mean(), r.latency.max());
+  std::printf("trace: %llu events → %s\n",
+              static_cast<unsigned long long>(sink.total()),
+              sink.path().c_str());
+}
+
+void write_trace_json(const std::string& path, const char* kind,
+                      const std::vector<std::pair<std::string, double>>& params,
+                      const SimResult& r, const obs::JsonlFileSink& sink) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("experiment", std::string("trace_") + kind);
+  w.key("params").begin_object();
+  for (const auto& [k, v] : params) w.field(k, v);
+  w.field("trace_file", sink.path());
+  w.end_object();
+  w.key("metrics").begin_object();
+  w.field("makespan", r.makespan);
+  w.field("total_transmissions", r.total_transmissions);
+  w.field("max_queue", r.max_queue);
+  w.field("average_utilization", r.average_utilization());
+  w.field("trace_events", sink.total());
+  w.key("dim_transmissions").begin_array();
+  for (auto tx : r.dim_transmissions) w.value(tx);
+  w.end_array();
+  w.key("utilization");
+  r.utilization.write_json(w);
+  w.key("latency");
+  r.latency.write_json(w);
+  w.end_object();
+  w.key("timings").begin_object();
+  for (const auto& span : obs::MetricsRegistry::global().timings()) {
+    w.key(span.name).begin_object();
+    w.field("seconds", span.seconds);
+    w.field("count", span.count);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::perror(path.c_str());
+    return;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr,
+                 "usage: trace <cycle|grid|ccc> ... [--packets p] "
+                 "[--trace t.jsonl] [--json summary.json]\n");
+    return 1;
+  }
+  const std::string kind = argv[0];
+  TraceOptions opt = parse_trace_args(argc - 1, argv + 1);
+  std::vector<std::pair<std::string, double>> params;
+
+  if (kind == "cycle") {
+    if (opt.positional.empty()) {
+      std::fprintf(stderr, "usage: trace cycle <n> [p]\n");
+      return 1;
+    }
+    const int n = std::atoi(opt.positional[0].c_str());
+    if (!cycle_multipath_supported(n)) {
+      std::fprintf(stderr, "n = %d unsupported\n", n);
+      return 1;
+    }
+    int p = opt.packets;
+    if (p <= 0) {
+      p = opt.positional.size() > 1 ? std::atoi(opt.positional[1].c_str())
+                                    : n / 2;
+    }
+    if (opt.trace_path.empty()) opt.trace_path = "TRACE_cycle.jsonl";
+    MultiPathEmbedding emb = [&] {
+      obs::ScopedTimer t("construct");
+      return theorem1_cycle_embedding(n);
+    }();
+    obs::JsonlFileSink sink(opt.trace_path);
+    SimResult r;
+    {
+      obs::ScopedTimer t("simulate");
+      r = measure_phase_cost(emb, p, Arbitration::kFifo, &sink);
+    }
+    params = {{"n", static_cast<double>(n)}, {"packets_per_edge",
+                                             static_cast<double>(p)}};
+    print_trace_summary("cycle", r, emb.host(), sink);
+    if (opt.json) {
+      if (opt.json_path.empty()) opt.json_path = "SUMMARY_cycle.json";
+      write_trace_json(opt.json_path, "cycle", params, r, sink);
+    }
+    return 0;
+  }
+
+  if (kind == "grid") {
+    if (opt.positional.size() < 2) {
+      std::fprintf(stderr, "usage: trace grid <torus|grid> <side>... [p]\n");
+      return 1;
+    }
+    GridSpec spec;
+    spec.wrap = opt.positional[0] == "torus";
+    const int p = opt.packets > 0 ? opt.packets : 2;
+    for (std::size_t i = 1; i < opt.positional.size(); ++i) {
+      spec.sides.push_back(
+          static_cast<Node>(std::atoi(opt.positional[i].c_str())));
+    }
+    if (!grid_multipath_supported(spec)) {
+      std::fprintf(stderr, "unsupported grid spec\n");
+      return 1;
+    }
+    if (opt.trace_path.empty()) opt.trace_path = "TRACE_grid.jsonl";
+    MultiPathEmbedding emb = [&] {
+      obs::ScopedTimer t("construct");
+      return grid_multipath_embedding(spec);
+    }();
+    obs::JsonlFileSink sink(opt.trace_path);
+    SimResult r;
+    {
+      obs::ScopedTimer t("simulate");
+      r = measure_phase_cost(emb, p, Arbitration::kFifo, &sink);
+    }
+    params = {{"axes", static_cast<double>(spec.sides.size())},
+              {"wrap", spec.wrap ? 1.0 : 0.0},
+              {"packets_per_edge", static_cast<double>(p)}};
+    print_trace_summary("grid", r, emb.host(), sink);
+    if (opt.json) {
+      if (opt.json_path.empty()) opt.json_path = "SUMMARY_grid.json";
+      write_trace_json(opt.json_path, "grid", params, r, sink);
+    }
+    return 0;
+  }
+
+  if (kind == "ccc") {
+    if (opt.positional.empty()) {
+      std::fprintf(stderr, "usage: trace ccc <n> [p]\n");
+      return 1;
+    }
+    const int n = std::atoi(opt.positional[0].c_str());
+    int p = opt.packets;
+    if (p <= 0) {
+      p = opt.positional.size() > 1 ? std::atoi(opt.positional[1].c_str())
+                                    : 1;
+    }
+    if (opt.trace_path.empty()) opt.trace_path = "TRACE_ccc.jsonl";
+    KCopyEmbedding emb = [&] {
+      obs::ScopedTimer t("construct");
+      return ccc_multicopy_embedding(n);
+    }();
+    obs::JsonlFileSink sink(opt.trace_path);
+    SimResult r;
+    {
+      obs::ScopedTimer t("simulate");
+      r = measure_phase_cost(emb, p, Arbitration::kFifo, &sink);
+    }
+    params = {{"n", static_cast<double>(n)},
+              {"copies", static_cast<double>(emb.num_copies())},
+              {"packets_per_edge", static_cast<double>(p)}};
+    print_trace_summary("ccc", r, emb.host(), sink);
+    if (opt.json) {
+      if (opt.json_path.empty()) opt.json_path = "SUMMARY_ccc.json";
+      write_trace_json(opt.json_path, "ccc", params, r, sink);
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown trace target '%s'\n", kind.c_str());
+  return 1;
+}
+
 }  // namespace
 }  // namespace hyperpath
 
@@ -130,7 +386,7 @@ int main(int argc, char** argv) {
   using namespace hyperpath;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s cycle|grid|ccc|decomp|moments|faults ...\n",
+                 "usage: %s cycle|grid|ccc|decomp|moments|faults|trace ...\n",
                  argv[0]);
     return 1;
   }
@@ -145,6 +401,7 @@ int main(int argc, char** argv) {
       return cmd_faults(std::atoi(argv[2]), std::atoi(argv[3]),
                         argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
     }
+    if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
