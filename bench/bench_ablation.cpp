@@ -20,16 +20,22 @@
 namespace hyperpath {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   {
     bench::Table t("Ablation A: CCC window choices (copies × congestion)",
                    {"construction", "n", "copies", "edge congestion",
                     "paper prediction"});
+    int good_cong = 0, naive_cong = 0;
     for (int n : {4, 8}) {
-      const auto good = ccc_multicopy_embedding(n);
+      const auto good = [&] {
+        obs::ScopedTimer timer("construct");
+        return ccc_multicopy_embedding(n);
+      }();
+      good_cong = good.edge_congestion();
       t.row("Theorem 3 overlapping", n, good.num_copies(),
             good.edge_congestion(), "2");
       const auto same = ccc_multicopy_same_windows(n);
+      naive_cong = same.edge_congestion();
       t.row("same windows (naive)", n, same.num_copies(),
             same.edge_congestion(), "≥ n/r");
       const auto disj = ccc_multicopy_disjoint_windows(n);
@@ -37,25 +43,41 @@ void print_table() {
             disj.edge_congestion(), "≥ copies on some dim");
     }
     t.print();
+    report.metric("ccc_overlapping_congestion_q8", good_cong);
+    report.metric("ccc_same_windows_congestion_q8", naive_cong);
+    report.table(t);
   }
   {
     bench::Table t(
         "Ablation B: Theorem 2 with vs without moment cycle selection",
         {"n", "variant", "width", "congestion", "w-pkt cost"});
+    int good_cost_16 = 0, naive_cost_16 = 0;
     for (int n : {8, 10, 16}) {
       const int w = 2 * (n / 4);
-      const auto good = theorem2_cycle_embedding(n);
-      t.row(n, "moments (Lemma 2)", good.width(), good.congestion(),
-            measure_phase_cost(good, w).makespan);
+      const auto good = [&] {
+        obs::ScopedTimer timer("construct");
+        return theorem2_cycle_embedding(n);
+      }();
+      obs::ScopedTimer timer("simulate");
+      const int gc = measure_phase_cost(good, w).makespan;
+      t.row(n, "moments (Lemma 2)", good.width(), good.congestion(), gc);
       const auto naive = theorem2_cycle_embedding_naive(n);
-      t.row(n, "constant cycle 0", naive.width(), naive.congestion(),
-            measure_phase_cost(naive, w).makespan);
+      const int nc = measure_phase_cost(naive, w).makespan;
+      t.row(n, "constant cycle 0", naive.width(), naive.congestion(), nc);
+      if (n == 16) {
+        good_cost_16 = gc;
+        naive_cost_16 = nc;
+      }
     }
     t.print();
+    report.metric("moments_cost_q16", good_cost_16);
+    report.metric("naive_cost_q16", naive_cost_16);
+    report.table(t);
   }
   {
     bench::Table t("Ablation C: link arbitration on Theorem 1 phases",
                    {"n", "m", "FIFO steps", "farthest-first steps"});
+    obs::ScopedTimer timer("simulate");
     for (int n : {8, 10}) {
       const auto emb = theorem1_cycle_embedding(n);
       for (int m : {n, 4 * n}) {
@@ -65,6 +87,7 @@ void print_table() {
       }
     }
     t.print();
+    report.table(t);
   }
 }
 
@@ -80,7 +103,8 @@ BENCHMARK(BM_NaiveVsMoments);
 }  // namespace hyperpath
 
 int main(int argc, char** argv) {
-  hyperpath::print_table();
+  hyperpath::bench::Report report("ablation", &argc, argv);
+  hyperpath::print_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

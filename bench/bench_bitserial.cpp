@@ -20,7 +20,7 @@
 namespace hyperpath {
 namespace {
 
-void print_two_phase_table();
+void print_two_phase_table(bench::Report& report);
 
 int store_forward_makespan(int dims, const Pattern& pattern, int flits) {
   // Message-granularity store-and-forward: a whole M-flit message must be
@@ -39,9 +39,12 @@ int store_forward_makespan(int dims, const Pattern& pattern, int flits) {
   return sim.run(packets).makespan * flits;
 }
 
-void print_table() {
+void print_table(bench::Report& report) {
   const int stages = 8;  // CCC_8 in Q_11
-  const auto emb = ccc_multicopy_embedding(stages);
+  const auto emb = [&] {
+    obs::ScopedTimer timer("construct");
+    return ccc_multicopy_embedding(stages);
+  }();
   const int dims = emb.host().dims();
   WormholeSim worm(dims);
   Rng rng(42);
@@ -51,24 +54,33 @@ void print_table() {
       "E12a: §7 — M-flit random permutation on Q_11 (CCC_8 copies)",
       {"M", "store&forward e-cube", "wormhole 1 CCC copy",
        "wormhole n-split (paper: O(M))", "split speed-up vs 1 copy"});
+  obs::ScopedTimer timer("simulate");
+  double speedup_at_1024 = 0.0;
   for (int m : {16, 64, 256, 1024}) {
     const int sf = store_forward_makespan(dims, pattern, m);
     const int single =
         worm.run(ccc_single_copy_worms(emb, 0, pattern, m)).makespan;
     const int split = worm.run(ccc_split_worms(emb, pattern, m)).makespan;
+    if (m == 1024) speedup_at_1024 = static_cast<double>(single) / split;
     t.row(m, sf, single, split, static_cast<double>(single) / split);
   }
   t.print();
-  print_two_phase_table();
+  report.param("stages", stages);
+  report.metric("split_speedup_m1024", speedup_at_1024);
+  report.table(t);
+  print_two_phase_table(report);
 }
 
 // The two-phase X(butterfly) router (end of §7): messages between X
 // vertices take a row butterfly then a column butterfly, each X hop split
 // across the width-n bundles.
-void print_two_phase_table() {
+void print_two_phase_table(bench::Report& report) {
   const int m = 4;
   const int n = 6;  // m + log m
-  const auto copies = repeat_copies(butterfly_multicopy_embedding(m), n);
+  const auto copies = [&] {
+    obs::ScopedTimer timer("construct");
+    return repeat_copies(butterfly_multicopy_embedding(m), n);
+  }();
   const auto x = theorem4_transform(copies);
   WormholeSim worm(x.host().dims());
   Rng rng(77);
@@ -76,6 +88,8 @@ void print_two_phase_table() {
   bench::Table t(
       "E12b: §7 — two-phase routing on X(butterfly), Q_12, 64 messages",
       {"M", "split worms", "makespan", "makespan / M"});
+  obs::ScopedTimer timer("simulate");
+  double last_ratio = 0.0;
   // A partial permutation: 64 random disjoint source→dest pairs.
   for (int mflits : {24, 96, 384}) {
     Pattern pattern(x.guest().num_nodes());
@@ -84,10 +98,12 @@ void print_two_phase_table() {
     for (int i = 0; i < 128; i += 2) pattern[nodes[i]] = nodes[i + 1];
     const auto worms = x_two_phase_worms(m, x, copies, pattern, mflits);
     const auto r = worm.run(worms);
-    t.row(mflits, worms.size(), r.makespan,
-          static_cast<double>(r.makespan) / mflits);
+    last_ratio = static_cast<double>(r.makespan) / mflits;
+    t.row(mflits, worms.size(), r.makespan, last_ratio);
   }
   t.print();
+  report.metric("two_phase_makespan_per_flit_m384", last_ratio);
+  report.table(t);
 }
 
 void BM_SplitRouting(benchmark::State& state) {
@@ -106,7 +122,8 @@ BENCHMARK(BM_SplitRouting);
 }  // namespace hyperpath
 
 int main(int argc, char** argv) {
-  hyperpath::print_table();
+  hyperpath::bench::Report report("bitserial", &argc, argv);
+  hyperpath::print_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,9 +16,12 @@
 namespace hyperpath {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   const int n = 8;
-  const auto multi = theorem1_cycle_embedding(n);
+  const auto multi = [&] {
+    obs::ScopedTimer timer("construct");
+    return theorem1_cycle_embedding(n);
+  }();
   const auto gray = gray_code_cycle_embedding(n);
   const int w = multi.width();
   const std::size_t edges = multi.guest().num_edges();
@@ -28,6 +31,7 @@ void print_table() {
       {"faults", "gray edges dead", "multi edges fully dead",
        "multi IDA-recoverable (w-1 of w)", "multi all paths alive"});
   Rng rng(1234);
+  std::size_t last_gray_dead = 0, last_full_dead = 0, last_ida_ok = 0;
   for (int f : {1, 4, 16, 64, 128}) {
     const auto faults = FaultSet::random(n, f, rng);
     std::size_t gray_dead = 0;
@@ -40,12 +44,21 @@ void print_table() {
       ida_ok += (d.paths_alive >= w - 1);
       intact += (d.paths_alive == d.paths_total);
     }
+    last_gray_dead = gray_dead;
+    last_full_dead = full_dead;
+    last_ida_ok = ida_ok;
     t.row(f, std::to_string(gray_dead) + "/" + std::to_string(edges),
           std::to_string(full_dead) + "/" + std::to_string(edges),
           std::to_string(ida_ok) + "/" + std::to_string(edges),
           std::to_string(intact) + "/" + std::to_string(edges));
   }
   t.print();
+  report.param("n", n);
+  report.param("max_faults", 128);
+  report.metric("gray_dead_at_128_faults", last_gray_dead);
+  report.metric("multi_dead_at_128_faults", last_full_dead);
+  report.metric("ida_recoverable_at_128_faults", last_ida_ok);
+  report.table(t);
 
   // End-to-end check: one IDA transfer over a faulty bundle.
   const auto faults = FaultSet::random(n, 32, rng);
@@ -68,6 +81,8 @@ void print_table() {
   std::printf("IDA end-to-end: %zu/%zu guest edges recovered a 4 KiB message "
               "under 32 link faults\n\n",
               recovered, attempted);
+  report.metric("ida_end_to_end_recovered", recovered);
+  report.metric("ida_end_to_end_attempted", attempted);
 }
 
 void BM_IdaEncode(benchmark::State& state) {
@@ -97,7 +112,8 @@ BENCHMARK(BM_FaultPhase);
 }  // namespace hyperpath
 
 int main(int argc, char** argv) {
-  hyperpath::print_table();
+  hyperpath::bench::Report report("faults", &argc, argv);
+  hyperpath::print_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

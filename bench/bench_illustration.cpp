@@ -9,6 +9,8 @@
 // multipath cost is ~3 per width-batch, a Θ(n) speed-up.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench/table.hpp"
 #include "core/cycle_multipath.hpp"
 #include "embed/classical.hpp"
@@ -17,25 +19,33 @@
 namespace hyperpath {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   bench::Table t("E1: m-packet cycle phase — classical Gray code vs Theorem 1",
                  {"n", "m", "gray cost", "multipath cost", "speed-up",
                   "gray bound m/2", "multipath Θ(m/n) ≈ 3·⌈m/w⌉"});
+  double best_speedup = 0.0;
   for (int n : {4, 6, 8, 10, 16}) {
     const auto gray = gray_code_cycle_embedding(n);
-    const auto multi = theorem1_cycle_embedding(n);
+    const auto multi = [&] {
+      obs::ScopedTimer timer("construct");
+      return theorem1_cycle_embedding(n);
+    }();
     const int w = multi.width();
+    obs::ScopedTimer timer("simulate");
     for (int m : {n / 2, 2 * n, n <= 10 ? 8 * n : 4 * n}) {
       const int gray_cost = measure_phase_cost(gray, m).makespan;
       StoreForwardSim sim(n);
       const int multi_cost =
           sim.run(theorem1_schedule_packets(multi, m)).makespan;
-      t.row(n, m, gray_cost, multi_cost,
-            static_cast<double>(gray_cost) / multi_cost, m / 2,
+      const double speedup = static_cast<double>(gray_cost) / multi_cost;
+      best_speedup = std::max(best_speedup, speedup);
+      t.row(n, m, gray_cost, multi_cost, speedup, m / 2,
             3 * ((m + w - 1) / w));
     }
   }
   t.print();
+  report.metric("best_speedup", best_speedup);
+  report.table(t);
 }
 
 void BM_GrayPhase(benchmark::State& state) {
@@ -62,7 +72,8 @@ BENCHMARK(BM_MultipathPhase)->Arg(6)->Arg(8)->Arg(10);
 }  // namespace hyperpath
 
 int main(int argc, char** argv) {
-  hyperpath::print_table();
+  hyperpath::bench::Report report("illustration", &argc, argv);
+  hyperpath::print_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

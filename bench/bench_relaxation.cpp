@@ -25,28 +25,35 @@
 namespace hyperpath {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   {
     bench::Table t(
         "E6a: unidirectional sweep (wavefront) — steps per phase",
         {"N per side", "w", "M/N pkts", "gray steps", "multipath steps",
          "speed-up", "steps·w/pkts (≈3, flat)"});
+    double last_norm_cost = 0.0;
     for (int a : {4, 6, 8}) {  // N = 2^a per side
       const Node n_side = Node{1} << a;
       const GridSpec spec{{n_side, n_side}, true};
       if (!grid_multipath_supported(spec)) continue;
-      const auto multi = grid_multipath_embedding(spec);
+      const auto multi = [&] {
+        obs::ScopedTimer timer("construct");
+        return grid_multipath_embedding(spec);
+      }();
       const int w = multi.width();
+      obs::ScopedTimer timer("simulate");
       // Gray unidirectional: same directed guest, width-1 direct links.
       for (int mn : {8, 32}) {
         const int gray_steps = mn;  // dedicated link per edge serializes
         const int ms = measure_phase_cost(multi, mn).makespan;
+        last_norm_cost = static_cast<double>(ms) * w / mn;
         t.row(static_cast<int>(n_side), w, mn, gray_steps, ms,
-              static_cast<double>(gray_steps) / ms,
-              static_cast<double>(ms) * w / mn);
+              static_cast<double>(gray_steps) / ms, last_norm_cost);
       }
     }
     t.print();
+    report.metric("unidir_norm_cost_largest", last_norm_cost);
+    report.table(t);
   }
   {
     bench::Table t(
@@ -57,9 +64,13 @@ void print_table() {
       const Node n_side = Node{1} << a;
       const GridSpec spec{{n_side, n_side}, true};
       if (!grid_multipath_supported(spec)) continue;
-      const auto multi = grid_multipath_embedding(spec);
+      const auto multi = [&] {
+        obs::ScopedTimer timer("construct");
+        return grid_multipath_embedding(spec);
+      }();
       const auto gray = gray_code_grid_embedding(spec);
       const int w = multi.width();
+      obs::ScopedTimer timer("simulate");
       for (int mn : {16, 64}) {
         const int gray_steps = measure_phase_cost(gray, mn).makespan;
         const int ms = 2 * measure_phase_cost(multi, mn).makespan;
@@ -69,6 +80,7 @@ void print_table() {
       }
     }
     t.print();
+    report.table(t);
   }
   std::printf(
       "Section 8.3 traffic totals (analytic): point-per-process large-copy "
@@ -95,7 +107,8 @@ BENCHMARK(BM_RelaxPhaseMultipath);
 }  // namespace hyperpath
 
 int main(int argc, char** argv) {
-  hyperpath::print_table();
+  hyperpath::bench::Report report("relaxation", &argc, argv);
+  hyperpath::print_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,14 +16,20 @@
 namespace hyperpath {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   bench::Table t("E10: Theorem 4 — width-n embeddings of X(G) in Q_{2n}",
                  {"G", "n", "X nodes", "width", "dilation",
                   "n-pkt cost (paper: c+2δ)", "c+2δ"});
+  int cycle_cost_n4 = 0;
   for (int n : {2, 4, 6}) {
     const auto copies = multicopy_directed_cycles(n);
-    const auto emb = theorem4_transform(copies);
+    const auto emb = [&] {
+      obs::ScopedTimer timer("construct");
+      return theorem4_transform(copies);
+    }();
+    obs::ScopedTimer timer("simulate");
     const auto r = measure_phase_cost(emb, n);
+    if (n == 4) cycle_cost_n4 = r.makespan;
     t.row("directed cycle", n, emb.guest().num_nodes(), emb.width(),
           emb.dilation(), r.makespan,
           std::string("3") + (n == 6 ? " (+1: n not a power of 2)" : ""));
@@ -32,12 +38,20 @@ void print_table() {
     const int m = 4;
     const int n = 6;
     const auto copies = repeat_copies(butterfly_multicopy_embedding(m), n);
-    const auto emb = theorem4_transform(copies);
+    const auto emb = [&] {
+      obs::ScopedTimer timer("construct");
+      return theorem4_transform(copies);
+    }();
+    obs::ScopedTimer timer("simulate");
     const auto r = measure_phase_cost(emb, n);
+    report.metric("butterfly_x_cost", r.makespan);
     t.row("sym. butterfly (m=4)", n, emb.guest().num_nodes(), emb.width(),
           emb.dilation(), r.makespan, "c + 8, c = multicopy cost");
   }
   t.print();
+  report.metric("cycle_x_cost_n4", cycle_cost_n4);
+  report.metric("paper_claimed_cost", 3);
+  report.table(t);
 }
 
 void BM_Theorem4Cycle(benchmark::State& state) {
@@ -53,7 +67,8 @@ BENCHMARK(BM_Theorem4Cycle)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 }  // namespace hyperpath
 
 int main(int argc, char** argv) {
-  hyperpath::print_table();
+  hyperpath::bench::Report report("transform", &argc, argv);
+  hyperpath::print_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

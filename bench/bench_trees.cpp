@@ -6,6 +6,8 @@
 // the table reports what the heuristic measures on random trees).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench/table.hpp"
 #include "base/rng.hpp"
 #include "ccc/netmaps.hpp"
@@ -15,19 +17,27 @@
 namespace hyperpath {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   {
     bench::Table t("E11a: Theorem 5 — CBT multipath embeddings",
                    {"m", "CBT nodes", "host dims", "width", "load",
                     "dilation", "n-pkt cost (O(1))"});
     for (int m : {4}) {
-      const auto emb = theorem5_cbt_embedding(m);
+      const auto emb = [&] {
+        obs::ScopedTimer timer("construct");
+        return theorem5_cbt_embedding(m);
+      }();
       const int n = emb.host().dims() / 2;
+      obs::ScopedTimer timer("simulate");
       const auto r = measure_phase_cost(emb, n);
+      report.metric("cbt_width", emb.width());
+      report.metric("cbt_load", emb.load());
+      report.metric("cbt_phase_cost", r.makespan);
       t.row(m, emb.guest().num_nodes(), emb.host().dims(), emb.width(),
             emb.load(), emb.dilation(), r.makespan);
     }
     t.print();
+    report.table(t);
   }
   {
     bench::Table t(
@@ -35,16 +45,24 @@ void print_table() {
         {"tree nodes", "tree→CBT dilation", "tree→CBT congestion", "width",
          "n-pkt cost", "2m (CBT levels)"});
     Rng rng(2026);
+    int worst_cost = 0;
     for (Node size : {31u, 100u, 200u, 255u}) {
       std::vector<Node> parent;
       const Digraph tree = random_binary_tree(size, rng, &parent);
       const auto t2c = tree_into_cbt(tree, parent, 8);
-      const auto emb = arbitrary_tree_multipath(tree, parent, 4);
+      const auto emb = [&] {
+        obs::ScopedTimer timer("construct");
+        return arbitrary_tree_multipath(tree, parent, 4);
+      }();
+      obs::ScopedTimer timer("simulate");
       const auto r = measure_phase_cost(emb, emb.width());
+      worst_cost = std::max(worst_cost, r.makespan);
       t.row(size, t2c.dilation(), t2c.congestion(), emb.width(), r.makespan,
             8);
     }
     t.print();
+    report.metric("arbitrary_tree_worst_cost", worst_cost);
+    report.table(t);
   }
 }
 
@@ -69,7 +87,8 @@ BENCHMARK(BM_TreeIntoCbt);
 }  // namespace hyperpath
 
 int main(int argc, char** argv) {
-  hyperpath::print_table();
+  hyperpath::bench::Report report("trees", &argc, argv);
+  hyperpath::print_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -23,6 +24,8 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/run_metadata.hpp"
 
 namespace hyperpath::bench {
 
@@ -96,15 +99,22 @@ class Table {
 };
 
 /// Machine-readable record of one bench run:
-///   {"experiment":..., "params":{...}, "metrics":{...},
+///   {"experiment":..., "meta":{git sha, compiler, flags, host, ...},
+///    "params":{...}, "metrics":{...},
 ///    "tables":[{"title":..., "columns":[...], "rows":[[...]]}],
-///    "timings":{"name":{"seconds":...,"count":...}}}
+///    "timings":{"name":{"seconds":...,"count":...}},
+///    "profile":{span tree}}
 /// Written on destruction when `--json [path]` was passed.
+///
+/// Constructing a Report also enables the global span profiler, so the
+/// construction/simulation spans the library brackets (HP_PROFILE_SPAN)
+/// land in the exported "profile" tree without per-bench wiring.
 class Report {
  public:
   /// Strips `--json`, `--json <path>` or `--json=<path>` from argv.
   Report(std::string experiment, int* argc, char** argv)
       : experiment_(std::move(experiment)) {
+    obs::Profiler::global().set_enabled(true);
     for (int i = 1; i < *argc; ++i) {
       const char* a = argv[i];
       int consumed = 0;
@@ -161,6 +171,8 @@ class Report {
     obs::JsonWriter w;
     w.begin_object();
     w.field("experiment", experiment_);
+    w.key("meta");
+    obs::RunMetadata::collect().write_json(w);
     w.key("params").begin_object();
     for (const auto& [k, v] : params_) w.key(k).raw_value(v);
     w.end_object();
@@ -192,6 +204,8 @@ class Report {
       w.end_object();
     }
     w.end_object();
+    w.key("profile");
+    obs::Profiler::global().write_json(w);
     w.end_object();
 
     if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
@@ -208,6 +222,9 @@ class Report {
   template <typename T>
   static std::string number(T v) {
     if constexpr (std::is_floating_point_v<T>) {
+      // %.17g would print "nan"/"inf" — not JSON tokens.  Match
+      // JsonWriter::value(double): non-finite becomes null.
+      if (!std::isfinite(static_cast<double>(v))) return "null";
       char buf[48];
       std::snprintf(buf, sizeof buf, "%.17g", static_cast<double>(v));
       return buf;

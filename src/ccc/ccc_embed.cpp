@@ -6,6 +6,7 @@
 #include "base/bits.hpp"
 #include "base/error.hpp"
 #include "base/gray.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
@@ -160,6 +161,7 @@ std::vector<Node> signature_cycle(int n, int r) {
 }  // namespace
 
 KCopyEmbedding ccc_single_embedding_general(int n) {
+  HP_PROFILE_SPAN("construct/ccc_single_general");
   HP_CHECK(n >= 3 && n <= 20, "general Lemma 4 supports n in [3, 20]");
   const int r = ceil_log2(static_cast<std::uint64_t>(n));
   const std::vector<Node> ham = signature_cycle(n, r);
@@ -202,6 +204,7 @@ KCopyEmbedding ccc_single_embedding_general(int n) {
 }
 
 KCopyEmbedding ccc_multicopy_embedding(int n) {
+  HP_PROFILE_SPAN("construct/ccc_multicopy");
   const LevelColumnLayout lay = ccc_layout(n);
   const int r = floor_log2(static_cast<std::uint64_t>(n));
   KCopyEmbedding emb(ccc_directed(n), n + r);
@@ -212,6 +215,7 @@ KCopyEmbedding ccc_multicopy_embedding(int n) {
 }
 
 KCopyEmbedding ccc_multicopy_embedding_undirected(int n) {
+  HP_PROFILE_SPAN("construct/ccc_multicopy_undirected");
   HP_CHECK(n >= 3, "undirected CCC needs n >= 3");
   const LevelColumnLayout lay = ccc_layout(n);
   const int r = floor_log2(static_cast<std::uint64_t>(n));

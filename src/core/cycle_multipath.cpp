@@ -9,6 +9,7 @@
 #include "graph/builders.hpp"
 #include "graph/euler.hpp"
 #include "hamdecomp/directed.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
@@ -66,6 +67,7 @@ bool cycle_multipath_supported(int n) {
 // ---------------------------------------------------------------------------
 
 MultiPathEmbedding theorem1_cycle_embedding(int n) {
+  HP_PROFILE_SPAN("construct/theorem1_cycle");
   const Fields f(n);
   const DirectedCycleFamily fam(2 * f.k);
   const std::uint64_t num_cols = pow2(f.col_bits);
@@ -84,23 +86,26 @@ MultiPathEmbedding theorem1_cycle_embedding(int n) {
   // Walk the guest cycle C.
   std::vector<Node> c_nodes;
   c_nodes.reserve(pow2(n));
-  Node col = 0;
-  Node row = 0;
-  for (std::uint64_t t = 0; t < num_cols; ++t) {
-    const int cyc = static_cast<int>(moment(f.position(col)));
-    Node v = row;
-    for (std::uint64_t s = 0; s < col_size; ++s) {
-      c_nodes.push_back(f.with_row(col, v));
-      v = fam.next(cyc, v);
+  {
+    HP_PROFILE_SPAN("guest_walk");
+    Node col = 0;
+    Node row = 0;
+    for (std::uint64_t t = 0; t < num_cols; ++t) {
+      const int cyc = static_cast<int>(moment(f.position(col)));
+      Node v = row;
+      for (std::uint64_t s = 0; s < col_size; ++s) {
+        c_nodes.push_back(f.with_row(col, v));
+        v = fam.next(cyc, v);
+      }
+      HP_CHECK(v == row, "special cycle traversal did not wrap");
+      row = fam.prev(cyc, row);  // exit row: one step short of closing
+      col = flip_bit(col, column_bit_of_gray_dim(
+                              gray_transition_at(f.col_bits, t)));
     }
-    HP_CHECK(v == row, "special cycle traversal did not wrap");
-    row = fam.prev(cyc, row);  // exit row: one step short of closing
-    col = flip_bit(col, column_bit_of_gray_dim(
-                            gray_transition_at(f.col_bits, t)));
+    HP_CHECK(col == 0 && row == 0,
+             "guest cycle does not close at row 0 of column 0 (4-group "
+             "orientation pairing violated)");
   }
-  HP_CHECK(col == 0 && row == 0,
-           "guest cycle does not close at row 0 of column 0 (4-group "
-           "orientation pairing violated)");
 
   MultiPathEmbedding emb(directed_cycle(static_cast<Node>(pow2(n))), n);
   emb.set_node_map(std::move(c_nodes));
@@ -109,17 +114,21 @@ MultiPathEmbedding theorem1_cycle_embedding(int n) {
   for (int j = 0; j < 2 * f.k; ++j) col_detours.push_back(f.r + j);
   for (int j = 0; j < 2 * f.k; ++j) row_detours.push_back(f.col_bits + j);
 
-  const Digraph& g = emb.guest();
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    const Edge& ge = g.edge(e);
-    const Node a = emb.host_of(ge.from);
-    const Node b = emb.host_of(ge.to);
-    const Dim i = count_trailing_zeros(a ^ b);
-    std::vector<HostPath> bundle =
-        detour_bundle(a, b, i, f.is_row_dim(i) ? col_detours : row_detours);
-    bundle.push_back({a, b});  // the direct path (the 2k+1st)
-    emb.set_paths(e, std::move(bundle));
+  {
+    HP_PROFILE_SPAN("bundles");
+    const Digraph& g = emb.guest();
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      const Edge& ge = g.edge(e);
+      const Node a = emb.host_of(ge.from);
+      const Node b = emb.host_of(ge.to);
+      const Dim i = count_trailing_zeros(a ^ b);
+      std::vector<HostPath> bundle =
+          detour_bundle(a, b, i, f.is_row_dim(i) ? col_detours : row_detours);
+      bundle.push_back({a, b});  // the direct path (the 2k+1st)
+      emb.set_paths(e, std::move(bundle));
+    }
   }
+  HP_PROFILE_SPAN("verify");
   emb.verify_or_throw(/*expected_width=*/2 * f.k + 1, /*expected_load=*/1);
   return emb;
 }
@@ -162,6 +171,7 @@ std::vector<Packet> theorem1_schedule_packets(const MultiPathEmbedding& emb,
 namespace {
 
 MultiPathEmbedding theorem2_impl(int n, bool use_moments) {
+  HP_PROFILE_SPAN("construct/theorem2_cycle");
   const Fields f(n);
   const DirectedCycleFamily col_fam(2 * f.k);
   const DirectedCycleFamily row_fam(f.col_bits);
@@ -177,18 +187,25 @@ MultiPathEmbedding theorem2_impl(int n, bool use_moments) {
   // cycle 0 — see theorem2_cycle_embedding_naive.
   EdgeList special{static_cast<Node>(n_nodes), {}};
   special.edges.reserve(2 * n_nodes);
-  for (Node v = 0; v < n_nodes; ++v) {
-    const int ccyc =
-        use_moments ? static_cast<int>(moment(f.position(v))) : 0;
-    const Node next_row = col_fam.next(ccyc, f.row(v));
-    special.edges.emplace_back(v, f.with_row(f.column(v), next_row));
+  {
+    HP_PROFILE_SPAN("special_edges");
+    for (Node v = 0; v < n_nodes; ++v) {
+      const int ccyc =
+          use_moments ? static_cast<int>(moment(f.position(v))) : 0;
+      const Node next_row = col_fam.next(ccyc, f.row(v));
+      special.edges.emplace_back(v, f.with_row(f.column(v), next_row));
 
-    const int rcyc = use_moments ? static_cast<int>(moment(f.row(v))) : 0;
-    const Node next_low = row_fam.next(rcyc, f.column(v));
-    special.edges.emplace_back(v, f.with_row(next_low, f.row(v)));
+      const int rcyc = use_moments ? static_cast<int>(moment(f.row(v))) : 0;
+      const Node next_low = row_fam.next(rcyc, f.column(v));
+      special.edges.emplace_back(v, f.with_row(next_low, f.row(v)));
+    }
   }
 
-  const std::vector<Node> tour = eulerian_circuit(special, 0);
+  std::vector<Node> tour;
+  {
+    HP_PROFILE_SPAN("euler_tour");
+    tour = eulerian_circuit(special, 0);
+  }
   HP_CHECK(tour.size() == 2 * n_nodes + 1, "Eulerian tour has wrong length");
 
   MultiPathEmbedding emb(directed_cycle(static_cast<Node>(2 * n_nodes)), n);
@@ -201,21 +218,25 @@ MultiPathEmbedding theorem2_impl(int n, bool use_moments) {
   for (int j = 0; j < 2 * f.k; ++j) col_detours.push_back(f.r + j);
   for (int j = 0; j < 2 * f.k; ++j) row_detours.push_back(f.col_bits + j);
 
-  const Digraph& g = emb.guest();
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    const Edge& ge = g.edge(e);
-    const Node a = emb.host_of(ge.from);
-    const Node b = emb.host_of(ge.to);
-    const Dim i = count_trailing_zeros(a ^ b);
-    // Column special edges flip row dimensions and detour through position
-    // neighbors; row special edges flip low dimensions and detour through
-    // row neighbors.  No direct path exists (Theorem 2's proof): each
-    // family's direct edges are consumed by the other family's first and
-    // last edges.
-    emb.set_paths(e, detour_bundle(a, b, i,
-                                   f.is_row_dim(i) ? col_detours
-                                                   : row_detours));
+  {
+    HP_PROFILE_SPAN("bundles");
+    const Digraph& g = emb.guest();
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      const Edge& ge = g.edge(e);
+      const Node a = emb.host_of(ge.from);
+      const Node b = emb.host_of(ge.to);
+      const Dim i = count_trailing_zeros(a ^ b);
+      // Column special edges flip row dimensions and detour through position
+      // neighbors; row special edges flip low dimensions and detour through
+      // row neighbors.  No direct path exists (Theorem 2's proof): each
+      // family's direct edges are consumed by the other family's first and
+      // last edges.
+      emb.set_paths(e, detour_bundle(a, b, i,
+                                     f.is_row_dim(i) ? col_detours
+                                                     : row_detours));
+    }
   }
+  HP_PROFILE_SPAN("verify");
   emb.verify_or_throw(/*expected_width=*/2 * f.k, /*expected_load=*/2);
   return emb;
 }

@@ -7,6 +7,7 @@
 #include "base/error.hpp"
 #include "core/cycle_multipath.hpp"
 #include "hamdecomp/directed.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
@@ -29,6 +30,7 @@ bool grid_multipath_supported(const GridSpec& spec) {
 }
 
 MultiPathEmbedding grid_multipath_embedding(const GridSpec& spec) {
+  HP_PROFILE_SPAN("construct/grid");
   HP_CHECK(grid_multipath_supported(spec),
            "grid spec unsupported (axis widths must satisfy "
            "cycle_multipath_supported; torus sides must be powers of two)");
@@ -39,9 +41,12 @@ MultiPathEmbedding grid_multipath_embedding(const GridSpec& spec) {
   std::vector<MultiPathEmbedding> axis;
   std::vector<int> bits(k), offset(k);
   axis.reserve(k);
-  for (int a = 0; a < k; ++a) {
-    bits[a] = axis_bits(spec.sides[a]);
-    axis.push_back(theorem1_cycle_embedding(bits[a]));
+  {
+    HP_PROFILE_SPAN("axis_embeddings");
+    for (int a = 0; a < k; ++a) {
+      bits[a] = axis_bits(spec.sides[a]);
+      axis.push_back(theorem1_cycle_embedding(bits[a]));
+    }
   }
   offset[k - 1] = 0;
   for (int a = k - 1; a-- > 0;) offset[a] = offset[a + 1] + bits[a + 1];
@@ -50,22 +55,27 @@ MultiPathEmbedding grid_multipath_embedding(const GridSpec& spec) {
   MultiPathEmbedding emb(grid_graph_directed(spec), total);
 
   // η: concatenate per-axis cycle positions' host addresses.
-  const Node n_guest = spec.num_nodes();
-  std::vector<Node> eta(n_guest);
-  for (Node v = 0; v < n_guest; ++v) {
-    const auto coords = spec.coords(v);
-    Node addr = 0;
-    for (int a = 0; a < k; ++a) {
-      addr |= axis[a].host_of(coords[a]) << offset[a];
+  {
+    HP_PROFILE_SPAN("node_map");
+    const Node n_guest = spec.num_nodes();
+    std::vector<Node> eta(n_guest);
+    for (Node v = 0; v < n_guest; ++v) {
+      const auto coords = spec.coords(v);
+      Node addr = 0;
+      for (int a = 0; a < k; ++a) {
+        addr |= axis[a].host_of(coords[a]) << offset[a];
+      }
+      eta[v] = addr;
     }
-    eta[v] = addr;
+    emb.set_node_map(std::move(eta));
   }
-  emb.set_node_map(std::move(eta));
 
   // Bundles: for a grid edge along axis a between coordinates c and c+1
   // (or the wrap pair), take the axis cycle embedding's bundle for the
   // corresponding directed cycle edge, shift it into the axis field, keep
   // all other fields fixed; the reverse grid direction reverses the paths.
+  {
+  HP_PROFILE_SPAN("bundles");
   const Digraph& g = emb.guest();
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
     const Edge& ge = g.edge(e);
@@ -97,12 +107,15 @@ MultiPathEmbedding grid_multipath_embedding(const GridSpec& spec) {
     }
     emb.set_paths(e, std::move(bundle));
   }
+  }
 
+  HP_PROFILE_SPAN("verify");
   emb.verify_or_throw();
   return emb;
 }
 
 KCopyEmbedding multicopy_torus(const GridSpec& spec) {
+  HP_PROFILE_SPAN("construct/multicopy_torus");
   HP_CHECK(spec.wrap, "multicopy_torus needs a torus spec");
   const int k = spec.num_axes();
   HP_CHECK(k >= 1, "empty spec");

@@ -5,10 +5,12 @@
 #include "graph/builders.hpp"
 #include "hamdecomp/decomposition.hpp"
 #include "hamdecomp/directed.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
 MultiPathEmbedding largecopy_directed_cycle(int n) {
+  HP_PROFILE_SPAN("construct/largecopy_directed");
   const DirectedCycleFamily fam(n);
   const int copies = fam.num_cycles();
   const std::uint64_t n_nodes = pow2(n);
@@ -37,6 +39,7 @@ MultiPathEmbedding largecopy_directed_cycle(int n) {
 }
 
 MultiPathEmbedding largecopy_undirected_cycle(int n) {
+  HP_PROFILE_SPAN("construct/largecopy_undirected");
   const auto& d = hamiltonian_decomposition(n);
   const std::uint64_t n_nodes = pow2(n);
   const Node guest_len = static_cast<Node>(d.cycles.size() * n_nodes);
@@ -87,6 +90,7 @@ namespace {
 /// paths); cross/column-changing edges become the dimension edge.
 MultiPathEmbedding collapse_columns(Digraph guest, const LevelColumnLayout& lay,
                                     int load) {
+  HP_PROFILE_SPAN("construct/largecopy_collapse");
   MultiPathEmbedding emb(std::move(guest), lay.cube_dims);
   std::vector<Node> eta(emb.guest().num_nodes());
   for (Node v = 0; v < eta.size(); ++v) eta[v] = lay.column_of(v);

@@ -7,10 +7,12 @@
 #include "ccc/netmaps.hpp"
 #include "core/transform.hpp"
 #include "graph/builders.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
 KCopyEmbedding butterfly_multicopy_embedding(int m) {
+  HP_PROFILE_SPAN("construct/butterfly_multicopy");
   // Symmetric networks throughout so trees can route both edge directions;
   // the symmetric CCC needs m >= 3 (and powers of two for the windows).
   HP_CHECK(m >= 4 && is_pow2(static_cast<std::uint64_t>(m)),
@@ -125,18 +127,24 @@ GraphEmbedding cbt_into_x_butterfly(int m, const Digraph& xguest,
 }
 
 MultiPathEmbedding theorem5_cbt_embedding(int m) {
+  HP_PROFILE_SPAN("construct/theorem5_cbt");
   const int r = floor_log2(static_cast<std::uint64_t>(m));
   const int n = m + r;
   const KCopyEmbedding copies =
       repeat_copies(butterfly_multicopy_embedding(m), n);
   const MultiPathEmbedding x = theorem4_transform(copies);
-  const GraphEmbedding cbt = cbt_into_x_butterfly(m, x.guest(), copies);
+  GraphEmbedding cbt = [&] {
+    HP_PROFILE_SPAN("cbt_into_x");
+    return cbt_into_x_butterfly(m, x.guest(), copies);
+  }();
+  HP_PROFILE_SPAN("compose");
   return compose_multipath(x, cbt);
 }
 
 MultiPathEmbedding arbitrary_tree_multipath(const Digraph& tree,
                                             const std::vector<Node>& parent,
                                             int m) {
+  HP_PROFILE_SPAN("construct/arbitrary_tree");
   const MultiPathEmbedding cbt_mp = theorem5_cbt_embedding(m);
   const GraphEmbedding t2c = tree_into_cbt(tree, parent, 2 * m);
   // Compose tree → CBT → Q: expand each CBT hop of the tree paths through

@@ -5,6 +5,7 @@
 
 #include "base/bits.hpp"
 #include "base/error.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
@@ -50,6 +51,7 @@ Dim random_set_bit(std::uint32_t mask, Rng& rng) {
 
 std::optional<std::vector<Node>> find_hamiltonian_cycle(
     const CubeSubgraph& g, Rng& rng, std::uint64_t max_steps) {
+  HP_PROFILE_SPAN("posa_cycle");
   const std::uint64_t n_nodes = g.num_nodes();
   std::vector<Node> path;
   std::vector<std::int32_t> pos(n_nodes, -1);  // index on path, or -1
@@ -251,6 +253,7 @@ std::vector<Node> extract_cycle(const TwoFactor& f) {
 
 std::optional<std::pair<std::vector<Node>, std::vector<Node>>>
 split_four_regular(const CubeSubgraph& g, Rng& rng, std::uint64_t max_flips) {
+  HP_PROFILE_SPAN("split_four_regular");
   const std::uint64_t n_nodes = g.num_nodes();
   for (Node v = 0; v < n_nodes; ++v) {
     HP_CHECK(g.degree(v) == 4, "split_four_regular needs a 4-regular graph");
@@ -414,6 +417,7 @@ split_four_regular(const CubeSubgraph& g, Rng& rng, std::uint64_t max_flips) {
 
 HamDecomposition solve_even_decomposition(int dims, std::uint64_t seed,
                                           int max_attempts) {
+  HP_PROFILE_SPAN("construct/hamdecomp_solver");
   HP_CHECK(dims >= 2 && dims % 2 == 0 && dims <= 16,
            "solver handles even dims in [2, 16]");
   if (dims == 2) {

@@ -18,7 +18,10 @@ std::string json_escape(std::string_view s) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (c < 0x20) {
+        // DEL is escaped alongside the mandatory C0 range: valid either
+        // way, but raw 0x7f confuses line-oriented consumers.  Multi-byte
+        // UTF-8 (>= 0x80) passes through untouched.
+        if (c < 0x20 || c == 0x7f) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", c);
           out += buf;

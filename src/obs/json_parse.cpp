@@ -1,0 +1,338 @@
+#include "obs/json_parse.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/error.hpp"
+
+namespace hyperpath::obs {
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(Array a) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::make_shared<Array>(std::move(a));
+  return v;
+}
+
+JsonValue JsonValue::make_object(Object o) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::make_shared<Object>(std::move(o));
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  HP_CHECK(kind_ == Kind::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  HP_CHECK(kind_ == Kind::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  HP_CHECK(kind_ == Kind::kString, "JSON value is not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  HP_CHECK(kind_ == Kind::kArray, "JSON value is not an array");
+  return *array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  HP_CHECK(kind_ == Kind::kObject, "JSON value is not an object");
+  return *object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : *object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(JsonParseError* error) {
+    std::optional<JsonValue> v = parse_value();
+    if (v) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after document");
+        v.reset();
+      }
+    }
+    if (!v && error) *error = {err_pos_, err_msg_};
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  std::nullopt_t fail(const char* msg) {
+    if (err_msg_.empty()) {
+      err_msg_ = msg;
+      err_pos_ = pos_;
+    }
+    return std::nullopt;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n': return literal("null") ? std::optional<JsonValue>(JsonValue())
+                                       : fail("bad literal");
+      case 't': return literal("true")
+                           ? std::optional(JsonValue::make_bool(true))
+                           : fail("bad literal");
+      case 'f': return literal("false")
+                           ? std::optional(JsonValue::make_bool(false))
+                           : fail("bad literal");
+      case '"': return parse_string();
+      case '[': return parse_array();
+      case '{': return parse_object();
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    if (!digits()) return fail("invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return fail("invalid number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) return fail("invalid number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue::make_number(std::strtod(token.c_str(), nullptr));
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  std::optional<std::uint32_t> hex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return std::nullopt;
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::optional<JsonValue> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return JsonValue::make_string(std::move(out));
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            auto cp = hex4();
+            if (!cp) return fail("invalid \\u escape");
+            // Surrogate pair → one code point.
+            if (*cp >= 0xd800 && *cp <= 0xdbff &&
+                text_.compare(pos_, 2, "\\u") == 0) {
+              pos_ += 2;
+              const auto lo = hex4();
+              if (!lo || *lo < 0xdc00 || *lo > 0xdfff) {
+                return fail("invalid surrogate pair");
+              }
+              append_utf8(out, 0x10000 + ((*cp - 0xd800) << 10) +
+                                   (*lo - 0xdc00));
+            } else {
+              append_utf8(out, *cp);
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      if (c < 0x20) return fail("unescaped control character");
+      out += static_cast<char>(c);  // UTF-8 bytes pass through untouched
+      ++pos_;
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    ++pos_;  // '['
+    JsonValue::Array items;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      items.push_back(std::move(*v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return JsonValue::make_array(std::move(items));
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      members.emplace_back(key->as_string(), std::move(*v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return JsonValue::make_object(std::move(members));
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t err_pos_ = 0;
+  std::string err_msg_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    JsonParseError* error) {
+  return Parser(text).run(error);
+}
+
+std::optional<JsonValue> json_parse_file(const std::string& path,
+                                         JsonParseError* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    if (error) *error = {0, "cannot open " + path};
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return json_parse(text, error);
+}
+
+}  // namespace hyperpath::obs

@@ -4,6 +4,7 @@
 
 #include "base/error.hpp"
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath::obs {
 
@@ -151,6 +152,10 @@ void MetricsRegistry::write_json(JsonWriter& w) const {
     w.end_object();
   }
   w.end_object();
+  // The process-wide span tree rides along in every metrics document;
+  // empty object when nothing was profiled.
+  w.key("profile");
+  Profiler::global().write_json(w);
   w.end_object();
 }
 

@@ -1,0 +1,70 @@
+#include "obs/run_metadata.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "obs/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+// Configure-time provenance, injected by src/obs/CMakeLists.txt onto this
+// file only (so a sha change rebuilds one translation unit).
+#ifndef HP_GIT_SHA
+#define HP_GIT_SHA "unknown"
+#endif
+#ifndef HP_COMPILER
+#define HP_COMPILER "unknown"
+#endif
+#ifndef HP_CXX_FLAGS
+#define HP_CXX_FLAGS ""
+#endif
+#ifndef HP_BUILD_TYPE
+#define HP_BUILD_TYPE "unknown"
+#endif
+
+namespace hyperpath::obs {
+
+RunMetadata RunMetadata::collect() {
+  RunMetadata m;
+  m.git_sha = HP_GIT_SHA;
+  m.compiler = HP_COMPILER;
+  m.flags = HP_CXX_FLAGS;
+  m.build_type = HP_BUILD_TYPE;
+  m.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {};
+  if (gethostname(host, sizeof host - 1) == 0) m.hostname = host;
+#endif
+  if (m.hostname.empty()) m.hostname = "unknown";
+
+  const std::time_t now = std::time(nullptr);
+  std::tm utc = {};
+#if defined(__unix__) || defined(__APPLE__)
+  gmtime_r(&now, &utc);
+#else
+  utc = *std::gmtime(&now);
+#endif
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  m.timestamp = stamp;
+  return m;
+}
+
+void RunMetadata::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.field("git_sha", git_sha);
+  w.field("compiler", compiler);
+  w.field("flags", flags);
+  w.field("build_type", build_type);
+  w.field("hostname", hostname);
+  w.field("timestamp", timestamp);
+  w.field("hardware_threads", hardware_threads);
+  w.end_object();
+}
+
+}  // namespace hyperpath::obs

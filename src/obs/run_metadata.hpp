@@ -1,0 +1,33 @@
+// Build/run provenance stamped into every bench::Report and BENCH_SUITE.
+//
+// A perf number without its provenance is unusable for regression tracking:
+// the same bench on a different commit, compiler or machine is a different
+// experiment.  RunMetadata carries what configure-time CMake knows (git
+// sha, compiler id/version, flags, build type — compiled in via HP_GIT_SHA
+// and friends on this translation unit) plus what only the run knows
+// (hostname, UTC timestamp, hardware thread count).
+#pragma once
+
+#include <string>
+
+namespace hyperpath::obs {
+
+class JsonWriter;
+
+struct RunMetadata {
+  std::string git_sha;      // "unknown" outside a git checkout
+  std::string compiler;     // e.g. "GNU 12.2.0"
+  std::string flags;        // CXX flags + build type
+  std::string build_type;   // e.g. "RelWithDebInfo"
+  std::string hostname;
+  std::string timestamp;    // UTC, ISO 8601
+  int hardware_threads = 0;
+
+  /// Compile-time fields + live hostname/timestamp.
+  static RunMetadata collect();
+
+  /// {"git_sha":...,"compiler":...,...} as one object value.
+  void write_json(JsonWriter& w) const;
+};
+
+}  // namespace hyperpath::obs

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
@@ -96,9 +97,13 @@ ParallelStoreForwardSim::ParallelStoreForwardSim(int dims, int threads)
 SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
                                        int max_steps,
                                        obs::TraceSink* sink) const {
-  for (const Packet& p : packets) {
-    HP_CHECK(is_valid_path(host_, p.route), "packet route invalid");
-    HP_CHECK(p.release >= 0, "negative release time");
+  HP_PROFILE_SPAN("sim/parallel");
+  {
+    HP_PROFILE_SPAN("setup");
+    for (const Packet& p : packets) {
+      HP_CHECK(is_valid_path(host_, p.route), "packet route invalid");
+      HP_CHECK(p.release >= 0, "negative release time");
+    }
   }
 
   const int dims = host_.dims();
@@ -137,20 +142,23 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
     return link;
   };
 
-  for (std::uint32_t id = 0; id < packets.size(); ++id) {
-    const Packet& p = packets[id];
-    if (p.route.size() <= 1) continue;
-    ++undelivered;
-    if (p.release == 0) {
-      const std::uint64_t link = enqueue(id);
-      if (tracing) {
-        trace.record({0, TraceEventKind::kRelease, id, link, 0});
+  {
+    HP_PROFILE_SPAN("setup");
+    for (std::uint32_t id = 0; id < packets.size(); ++id) {
+      const Packet& p = packets[id];
+      if (p.route.size() <= 1) continue;
+      ++undelivered;
+      if (p.release == 0) {
+        const std::uint64_t link = enqueue(id);
+        if (tracing) {
+          trace.record({0, TraceEventKind::kRelease, id, link, 0});
+        }
+      } else {
+        if (release_at.size() <= static_cast<std::size_t>(p.release)) {
+          release_at.resize(p.release + 1);
+        }
+        release_at[p.release].push_back(id);
       }
-    } else {
-      if (release_at.size() <= static_cast<std::size_t>(p.release)) {
-        release_at.resize(p.release + 1);
-      }
-      release_at[p.release].push_back(id);
     }
   }
 
@@ -161,6 +169,8 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
   WorkerPool pool(shards);
 
   int step = 0;
+  {
+  HP_PROFILE_SPAN("steps");
   while (undelivered > 0) {
     HP_CHECK(step < max_steps, "simulation exceeded max_steps");
     if (static_cast<std::size_t>(step) < release_at.size()) {
@@ -242,7 +252,9 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
     trace.end_step();
     ++step;
   }
+  }
 
+  HP_PROFILE_SPAN("drain");
   trace.finish();
   result.makespan = step;
   for (const Shard& sh : shard) {

@@ -4,10 +4,12 @@
 #include <numeric>
 
 #include "base/error.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
 std::vector<Packet> phase_packets(const MultiPathEmbedding& emb, int p) {
+  HP_PROFILE_SPAN("sim/phase_packets");
   HP_CHECK(p >= 1, "phase needs at least one packet per edge");
   std::vector<Packet> packets;
   packets.reserve(emb.guest().num_edges() * static_cast<std::size_t>(p));
@@ -31,6 +33,7 @@ std::vector<Packet> phase_packets(const MultiPathEmbedding& emb, int p) {
 }
 
 std::vector<Packet> phase_packets(const KCopyEmbedding& emb, int p) {
+  HP_PROFILE_SPAN("sim/phase_packets");
   HP_CHECK(p >= 1, "phase needs at least one packet per edge");
   std::vector<Packet> packets;
   packets.reserve(emb.guest().num_edges() *

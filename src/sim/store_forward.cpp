@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "base/error.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
@@ -16,10 +17,14 @@ StoreForwardSim::StoreForwardSim(int dims) : host_(dims) {}
 SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
                                Arbitration policy, int max_steps,
                                obs::TraceSink* sink) const {
-  // Validate routes up front.
-  for (const Packet& p : packets) {
-    HP_CHECK(is_valid_path(host_, p.route), "packet route invalid");
-    HP_CHECK(p.release >= 0, "negative release time");
+  HP_PROFILE_SPAN("sim/store_forward");
+  {
+    // Validate routes up front.
+    HP_PROFILE_SPAN("setup");
+    for (const Packet& p : packets) {
+      HP_CHECK(is_valid_path(host_, p.route), "packet route invalid");
+      HP_CHECK(p.release >= 0, "negative release time");
+    }
   }
 
   // Per-link waiting lists, keyed by directed link id.  Sparse map: only
@@ -48,20 +53,23 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
     return link;
   };
 
-  for (std::uint32_t id = 0; id < packets.size(); ++id) {
-    const Packet& p = packets[id];
-    if (p.route.size() <= 1) continue;  // already at destination
-    ++undelivered;
-    if (p.release == 0) {
-      const std::uint64_t link = enqueue(id);
-      if (trace.enabled()) {
-        trace.record({0, TraceEventKind::kRelease, id, link, 0});
+  {
+    HP_PROFILE_SPAN("setup");
+    for (std::uint32_t id = 0; id < packets.size(); ++id) {
+      const Packet& p = packets[id];
+      if (p.route.size() <= 1) continue;  // already at destination
+      ++undelivered;
+      if (p.release == 0) {
+        const std::uint64_t link = enqueue(id);
+        if (trace.enabled()) {
+          trace.record({0, TraceEventKind::kRelease, id, link, 0});
+        }
+      } else {
+        if (release_at.size() <= static_cast<std::size_t>(p.release)) {
+          release_at.resize(p.release + 1);
+        }
+        release_at[p.release].push_back(id);
       }
-    } else {
-      if (release_at.size() <= static_cast<std::size_t>(p.release)) {
-        release_at.resize(p.release + 1);
-      }
-      release_at[p.release].push_back(id);
     }
   }
 
@@ -73,6 +81,8 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
 
   int step = 0;
   std::size_t max_queue = 0;
+  {
+  HP_PROFILE_SPAN("steps");
   while (undelivered > 0) {
     HP_CHECK(step < max_steps, "simulation exceeded max_steps");
     if (static_cast<std::size_t>(step) < release_at.size()) {
@@ -159,7 +169,9 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
     trace.end_step();
     ++step;
   }
+  }
 
+  HP_PROFILE_SPAN("drain");
   trace.finish();
   result.makespan = step;
   result.max_queue = max_queue;

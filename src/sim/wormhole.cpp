@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "base/error.hpp"
+#include "obs/profile.hpp"
 
 namespace hyperpath {
 
@@ -13,12 +14,7 @@ WormholeSim::WormholeSim(int dims) : host_(dims) {}
 
 WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
                             obs::TraceSink* sink) const {
-  for (const Worm& w : worms) {
-    HP_CHECK(is_valid_path(host_, w.route), "worm route invalid");
-    HP_CHECK(w.flits >= 1, "worm needs at least one flit");
-    HP_CHECK(w.release >= 0, "negative release time");
-  }
-
+  HP_PROFILE_SPAN("sim/wormhole");
   WormResult result;
   result.completion.assign(worms.size(), 0);
   obs::StepTrace trace(sink);
@@ -33,15 +29,25 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
   std::vector<State> st(worms.size());
 
   std::size_t active = 0;
-  for (std::size_t i = 0; i < worms.size(); ++i) {
-    if (worms[i].route.size() <= 1) {
-      st[i].done = true;  // already at destination; no link work
-    } else {
-      ++active;
+  {
+    HP_PROFILE_SPAN("setup");
+    for (const Worm& w : worms) {
+      HP_CHECK(is_valid_path(host_, w.route), "worm route invalid");
+      HP_CHECK(w.flits >= 1, "worm needs at least one flit");
+      HP_CHECK(w.release >= 0, "negative release time");
+    }
+    for (std::size_t i = 0; i < worms.size(); ++i) {
+      if (worms[i].route.size() <= 1) {
+        st[i].done = true;  // already at destination; no link work
+      } else {
+        ++active;
+      }
     }
   }
 
   int step = 0;
+  {
+  HP_PROFILE_SPAN("steps");
   while (active > 0) {
     HP_CHECK(step < max_steps, "wormhole simulation exceeded max_steps");
     ++step;
@@ -108,7 +114,9 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
     }
     trace.end_step();
   }
+  }
 
+  HP_PROFILE_SPAN("drain");
   trace.finish();
   result.makespan = step;
   return result;

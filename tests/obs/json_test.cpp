@@ -1,0 +1,116 @@
+// Tests for the JSON writer/parser pair: escaping edge cases (control
+// chars, DEL, UTF-8 passthrough), non-finite doubles, and round-tripping
+// writer output through the parser.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/json_parse.hpp"
+
+namespace hyperpath {
+namespace {
+
+using obs::JsonParseError;
+using obs::JsonValue;
+using obs::JsonWriter;
+using obs::json_escape;
+using obs::json_parse;
+
+TEST(JsonEscape, ControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string_view("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscape, DelIsEscaped) {
+  EXPECT_EQ(json_escape("a\x7f" "b"), "a\\u007fb");
+}
+
+TEST(JsonEscape, MultiByteUtf8PassesThrough) {
+  // "⌊n/2⌋" and a 4-byte emoji must pass through byte-for-byte.
+  const std::string floor = "⌊n/2⌋";
+  EXPECT_EQ(json_escape(floor), floor);
+  const std::string emoji = "\xf0\x9f\x9a\x80";
+  EXPECT_EQ(json_escape(emoji), emoji);
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,null,1.5]");
+  // And the document must parse.
+  EXPECT_TRUE(json_parse(w.str()).has_value());
+}
+
+TEST(JsonWriter, OutputRoundTripsThroughParser) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "E2: ⌊n/2⌋ paths");
+  w.field("count", std::uint64_t{42});
+  w.field("ratio", 0.25);
+  w.field("ok", true);
+  w.key("nested");
+  w.begin_object();
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.value(-2);
+  w.end_array();
+  w.end_object();
+  w.end_object();
+
+  const auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("name")->as_string(), "E2: ⌊n/2⌋ paths");
+  EXPECT_EQ(doc->find("count")->as_number(), 42);
+  EXPECT_EQ(doc->find("ratio")->as_number(), 0.25);
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  const auto* list = doc->find("nested", "list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->as_array().size(), 2u);
+  EXPECT_EQ(list->as_array()[1].as_number(), -2);
+}
+
+TEST(JsonParse, EscapesAndSurrogatePairs) {
+  // 🚀 is the surrogate pair for U+1F680; raw UTF-8 passes too.
+  const auto doc = json_parse(R"({"s":"aA\n\ud83d\ude80","raw":"🚀"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("s")->as_string(), "aA\n\xf0\x9f\x9a\x80");
+  EXPECT_EQ(doc->find("raw")->as_string(), "\xf0\x9f\x9a\x80");
+}
+
+TEST(JsonParse, ReportsErrorOffset) {
+  JsonParseError err;
+  EXPECT_FALSE(json_parse("{\"a\": }", &err).has_value());
+  EXPECT_GT(err.offset, 0u);
+  EXPECT_FALSE(err.message.empty());
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_FALSE(json_parse("{} x").has_value());
+  EXPECT_TRUE(json_parse("  {}  ").has_value());
+}
+
+TEST(JsonParse, NumbersAndNull) {
+  const auto doc = json_parse(R"([0, -1.5e3, null, 1e-2])");
+  ASSERT_TRUE(doc.has_value());
+  const auto& a = doc->as_array();
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0].as_number(), 0);
+  EXPECT_EQ(a[1].as_number(), -1500);
+  EXPECT_TRUE(a[2].is_null());
+  EXPECT_DOUBLE_EQ(a[3].as_number(), 0.01);
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,163 @@
+// bench_runner — executes the declared suite of bench binaries in --json
+// mode and merges their reports into one BENCH_SUITE.json.
+//
+//   bench_runner [--json [FILE]] [--bench-dir DIR] [--only a,b,c]
+//
+// Each bench runs as `bench_<name> --json BENCH_<name>.json
+// --benchmark_filter=NONE` (tables only, no google-benchmark timings — the
+// per-phase numbers come from the construction profiler embedded in every
+// report).  Per-bench reports land next to the suite file; the merged
+// document is
+//
+//   {"suite": "hyperpath", "meta": {...run metadata...},
+//    "reports": {"theorem1": {...}, ...}}
+//
+// Exit status is nonzero if any bench fails to run or emits an unparsable
+// report; the suite is still written with whatever succeeded.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/run_metadata.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// The full bench suite, in experiment order.  Keep in sync with
+// bench/CMakeLists.txt (bench_<name> targets).
+const std::vector<std::string> kSuite = {
+    "illustration", "theorem1",   "theorem2",     "lower_bound",
+    "grids",        "relaxation", "hamdecomp",    "ccc_multicopy",
+    "transform",    "trees",      "bitserial",    "largecopy",
+    "faults",       "parallel_sim", "ablation",
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json [FILE]] [--bench-dir DIR] [--only a,b,c]\n"
+               "  --json [FILE]   suite output path (default BENCH_SUITE.json)\n"
+               "  --bench-dir DIR directory holding bench_<name> binaries\n"
+               "                  (default: <runner dir>/../bench)\n"
+               "  --only a,b,c    run a subset of the suite\n",
+               argv0);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path out_path = "BENCH_SUITE.json";
+  fs::path bench_dir;
+  std::vector<std::string> names;
+  {
+    // Dedup the declared suite while preserving order.
+    for (const std::string& n : kSuite) {
+      bool seen = false;
+      for (const std::string& m : names) seen = seen || (m == n);
+      if (!seen) names.push_back(n);
+    }
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--bench-dir" && i + 1 < argc) {
+      bench_dir = argv[++i];
+    } else if (arg == "--only" && i + 1 < argc) {
+      names = split_csv(argv[++i]);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (bench_dir.empty()) {
+    std::error_code ec;
+    fs::path self = fs::canonical(argv[0], ec);
+    if (ec) self = argv[0];
+    bench_dir = self.parent_path().parent_path() / "bench";
+  }
+
+  const fs::path report_dir =
+      out_path.has_parent_path() ? out_path.parent_path() : fs::path(".");
+
+  int failures = 0;
+  std::vector<std::pair<std::string, std::string>> reports;  // name -> raw
+  for (const std::string& name : names) {
+    const fs::path bin = bench_dir / ("bench_" + name);
+    const fs::path report = report_dir / ("BENCH_" + name + ".json");
+    if (!fs::exists(bin)) {
+      std::fprintf(stderr, "bench_runner: missing binary %s\n",
+                   bin.string().c_str());
+      ++failures;
+      continue;
+    }
+    const std::string cmd = "\"" + bin.string() + "\" --json \"" +
+                            report.string() +
+                            "\" --benchmark_filter=NONE > /dev/null 2>&1";
+    std::printf("bench_runner: running bench_%s ...\n", name.c_str());
+    std::fflush(stdout);
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "bench_runner: bench_%s exited with status %d\n",
+                   name.c_str(), rc);
+      ++failures;
+      continue;
+    }
+    std::ifstream in(report);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    hyperpath::obs::JsonParseError err;
+    const auto parsed = hyperpath::obs::json_parse(text, &err);
+    if (!parsed || !parsed->find("experiment")) {
+      std::fprintf(stderr,
+                   "bench_runner: bench_%s produced an invalid report "
+                   "(offset %zu: %s)\n",
+                   name.c_str(), err.offset, err.message.c_str());
+      ++failures;
+      continue;
+    }
+    reports.emplace_back(name, text);
+  }
+
+  hyperpath::obs::JsonWriter w;
+  w.begin_object();
+  w.field("suite", "hyperpath");
+  w.key("meta");
+  hyperpath::obs::RunMetadata::collect().write_json(w);
+  w.key("reports");
+  w.begin_object();
+  for (const auto& [name, text] : reports) {
+    w.key(name);
+    w.raw_value(text);
+  }
+  w.end_object();
+  w.end_object();
+
+  std::ofstream out(out_path);
+  out << w.str() << "\n";
+  out.close();
+  std::printf("bench_runner: wrote %s (%zu/%zu reports)\n",
+              out_path.string().c_str(), reports.size(), names.size());
+  return failures == 0 ? 0 : 1;
+}

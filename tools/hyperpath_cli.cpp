@@ -18,7 +18,9 @@
 // It dumps the step-level trace (default TRACE_<kind>.jsonl), prints a
 // per-dimension link-utilization summary plus the latency histogram, and
 // with --json writes a machine-readable {experiment, params, metrics,
-// timings} record.
+// timings} record.  The construction-phase profiler runs throughout and a
+// chrome://tracing span timeline lands in CHROME_TRACE_<kind>.json (or
+// --chrome FILE); load it at chrome://tracing or ui.perfetto.dev.
 //
 // A quick way to poke at the library without writing code.
 #include <cstdio>
@@ -35,6 +37,7 @@
 #include "hamdecomp/decomposition.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "sim/faults.hpp"
 #include "sim/phase.hpp"
@@ -144,10 +147,11 @@ int cmd_faults(int n, int count, std::uint64_t seed) {
 // trace subcommand
 
 struct TraceOptions {
-  std::string trace_path;  // JSONL trace output
-  std::string json_path;   // summary JSON output
-  bool json = false;       // write summary (default path if json_path empty)
-  int packets = -1;        // packets per guest edge (-1 = kind default)
+  std::string trace_path;   // JSONL trace output
+  std::string json_path;    // summary JSON output
+  std::string chrome_path;  // chrome://tracing span timeline output
+  bool json = false;        // write summary (default path if json_path empty)
+  int packets = -1;         // packets per guest edge (-1 = kind default)
   std::vector<std::string> positional;
 };
 
@@ -172,6 +176,8 @@ TraceOptions parse_trace_args(int argc, char** argv) {
     std::string v;
     if (next_or_eq(a, "--trace", i, &v)) {
       opt.trace_path = v;
+    } else if (next_or_eq(a, "--chrome", i, &v)) {
+      opt.chrome_path = v;
     } else if (a == "--json" && (i + 1 >= argc || argv[i + 1][0] == '-')) {
       opt.json = true;
     } else if (next_or_eq(a, "--json", i, &v)) {
@@ -257,15 +263,28 @@ void write_trace_json(const std::string& path, const char* kind,
   std::printf("wrote %s\n", path.c_str());
 }
 
+void dump_chrome_trace(TraceOptions& opt, const char* kind) {
+  if (opt.chrome_path.empty()) {
+    opt.chrome_path = std::string("CHROME_TRACE_") + kind + ".json";
+  }
+  if (obs::Profiler::global().dump_chrome_trace(opt.chrome_path)) {
+    std::printf("chrome trace: %s\n", opt.chrome_path.c_str());
+  } else {
+    std::perror(opt.chrome_path.c_str());
+  }
+}
+
 int cmd_trace(int argc, char** argv) {
   if (argc < 1) {
     std::fprintf(stderr,
                  "usage: trace <cycle|grid|ccc> ... [--packets p] "
-                 "[--trace t.jsonl] [--json summary.json]\n");
+                 "[--trace t.jsonl] [--json summary.json] "
+                 "[--chrome spans.json]\n");
     return 1;
   }
   const std::string kind = argv[0];
   TraceOptions opt = parse_trace_args(argc - 1, argv + 1);
+  obs::Profiler::global().set_enabled(true);
   std::vector<std::pair<std::string, double>> params;
 
   if (kind == "cycle") {
@@ -286,17 +305,20 @@ int cmd_trace(int argc, char** argv) {
     if (opt.trace_path.empty()) opt.trace_path = "TRACE_cycle.jsonl";
     MultiPathEmbedding emb = [&] {
       obs::ScopedTimer t("construct");
+      HP_PROFILE_SPAN("construct");
       return theorem1_cycle_embedding(n);
     }();
     obs::JsonlFileSink sink(opt.trace_path);
     SimResult r;
     {
       obs::ScopedTimer t("simulate");
+      HP_PROFILE_SPAN("simulate");
       r = measure_phase_cost(emb, p, Arbitration::kFifo, &sink);
     }
     params = {{"n", static_cast<double>(n)}, {"packets_per_edge",
                                              static_cast<double>(p)}};
     print_trace_summary("cycle", r, emb.host(), sink);
+    dump_chrome_trace(opt, "cycle");
     if (opt.json) {
       if (opt.json_path.empty()) opt.json_path = "SUMMARY_cycle.json";
       write_trace_json(opt.json_path, "cycle", params, r, sink);
@@ -323,18 +345,21 @@ int cmd_trace(int argc, char** argv) {
     if (opt.trace_path.empty()) opt.trace_path = "TRACE_grid.jsonl";
     MultiPathEmbedding emb = [&] {
       obs::ScopedTimer t("construct");
+      HP_PROFILE_SPAN("construct");
       return grid_multipath_embedding(spec);
     }();
     obs::JsonlFileSink sink(opt.trace_path);
     SimResult r;
     {
       obs::ScopedTimer t("simulate");
+      HP_PROFILE_SPAN("simulate");
       r = measure_phase_cost(emb, p, Arbitration::kFifo, &sink);
     }
     params = {{"axes", static_cast<double>(spec.sides.size())},
               {"wrap", spec.wrap ? 1.0 : 0.0},
               {"packets_per_edge", static_cast<double>(p)}};
     print_trace_summary("grid", r, emb.host(), sink);
+    dump_chrome_trace(opt, "grid");
     if (opt.json) {
       if (opt.json_path.empty()) opt.json_path = "SUMMARY_grid.json";
       write_trace_json(opt.json_path, "grid", params, r, sink);
@@ -356,18 +381,21 @@ int cmd_trace(int argc, char** argv) {
     if (opt.trace_path.empty()) opt.trace_path = "TRACE_ccc.jsonl";
     KCopyEmbedding emb = [&] {
       obs::ScopedTimer t("construct");
+      HP_PROFILE_SPAN("construct");
       return ccc_multicopy_embedding(n);
     }();
     obs::JsonlFileSink sink(opt.trace_path);
     SimResult r;
     {
       obs::ScopedTimer t("simulate");
+      HP_PROFILE_SPAN("simulate");
       r = measure_phase_cost(emb, p, Arbitration::kFifo, &sink);
     }
     params = {{"n", static_cast<double>(n)},
               {"copies", static_cast<double>(emb.num_copies())},
               {"packets_per_edge", static_cast<double>(p)}};
     print_trace_summary("ccc", r, emb.host(), sink);
+    dump_chrome_trace(opt, "ccc");
     if (opt.json) {
       if (opt.json_path.empty()) opt.json_path = "SUMMARY_ccc.json";
       write_trace_json(opt.json_path, "ccc", params, r, sink);
