@@ -83,6 +83,41 @@ void print_table(bench::Report& report) {
               recovered, attempted);
   report.metric("ida_end_to_end_recovered", recovered);
   report.metric("ida_end_to_end_attempted", attempted);
+
+  // Node faults: a dead processor takes out all 2n incident links at once,
+  // so the damage per fault is much larger — but a width-w bundle still
+  // tolerates any set of faults that spares one path (and the endpoints).
+  bench::Table tn(
+      "E14b: node faults on Q_8 — width-5 Theorem 1 vs width-1 Gray code",
+      {"node faults", "gray edges dead", "multi edges fully dead",
+       "multi IDA-recoverable (w-1 of w)", "multi all paths alive"});
+  std::size_t last_gray_node_dead = 0, last_full_node_dead = 0,
+              last_node_ida_ok = 0;
+  for (int f : {1, 4, 16, 32}) {
+    const auto faults = FaultSet::random_nodes(n, f, rng);
+    std::size_t gray_dead = 0;
+    for (const auto& d : deliver_phase(faults, gray)) {
+      gray_dead += (d.paths_alive == 0);
+    }
+    std::size_t full_dead = 0, ida_ok = 0, intact = 0;
+    for (const auto& d : deliver_phase(faults, multi)) {
+      full_dead += (d.paths_alive == 0);
+      ida_ok += (d.paths_alive >= w - 1);
+      intact += (d.paths_alive == d.paths_total);
+    }
+    last_gray_node_dead = gray_dead;
+    last_full_node_dead = full_dead;
+    last_node_ida_ok = ida_ok;
+    tn.row(f, std::to_string(gray_dead) + "/" + std::to_string(edges),
+           std::to_string(full_dead) + "/" + std::to_string(edges),
+           std::to_string(ida_ok) + "/" + std::to_string(edges),
+           std::to_string(intact) + "/" + std::to_string(edges));
+  }
+  tn.print();
+  report.metric("gray_dead_at_32_node_faults", last_gray_node_dead);
+  report.metric("multi_dead_at_32_node_faults", last_full_node_dead);
+  report.metric("ida_recoverable_at_32_node_faults", last_node_ida_ok);
+  report.table(tn);
 }
 
 void BM_IdaEncode(benchmark::State& state) {

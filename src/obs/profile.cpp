@@ -1,5 +1,6 @@
 #include "obs/profile.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -41,6 +42,23 @@ double cpu_now_seconds() {
     return static_cast<double>(t.tv_sec) + 1e-6 * t.tv_usec;
   };
   return tv(ru.ru_utime) + tv(ru.ru_stime);
+#endif
+}
+
+// Process peak resident set in KiB.  ru_maxrss is kilobytes on Linux and
+// bytes on macOS; normalized here.  Monotone, so span-entry/exit deltas
+// capture only growth to a new high-water mark.
+std::uint64_t rss_peak_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#endif
+#else
+  return 0;
 #endif
 }
 
@@ -127,7 +145,7 @@ void Profiler::begin(const char* name) {
   const std::int32_t parent =
       tp.stack.empty() ? -1 : tp.stack.back().node;
   const std::int32_t node = child_named(tp, parent, name);
-  tp.stack.push_back({node, wall_now_ns(), cpu_now_seconds()});
+  tp.stack.push_back({node, wall_now_ns(), cpu_now_seconds(), rss_peak_kb()});
 }
 
 void Profiler::end() {
@@ -136,16 +154,21 @@ void Profiler::end() {
   const Frame f = tp.stack.back();
   tp.stack.pop_back();
   const std::uint64_t wall_end = wall_now_ns();
+  const std::uint64_t rss_end = rss_peak_kb();
+  const std::uint64_t rss_delta =
+      rss_end > f.rss_start_kb ? rss_end - f.rss_start_kb : 0;
   Node& node = tp.nodes[f.node];
   ++node.count;
   node.wall_seconds += 1e-9 * static_cast<double>(wall_end - f.wall_start_ns);
   node.cpu_seconds += cpu_now_seconds() - f.cpu_start;
+  node.max_rss_delta_kb = std::max(node.max_rss_delta_kb, rss_delta);
 
   Occurrence occ;
   occ.name = node.name;
   occ.start_us = (f.wall_start_ns - epoch_ns_) / 1000;
   occ.dur_us = (wall_end - f.wall_start_ns) / 1000;
   occ.depth = static_cast<std::int32_t>(tp.stack.size());
+  occ.rss_delta_kb = rss_delta;
   if (tp.events.size() < kMaxEvents) {
     tp.events.push_back(occ);
   } else {
@@ -173,7 +196,7 @@ std::vector<Profiler::NodeView> Profiler::nodes() const {
       work.pop_back();
       const Node& n = tp->nodes[item.node];
       out.push_back({n.name, item.depth, n.count, n.wall_seconds,
-                     n.cpu_seconds});
+                     n.cpu_seconds, n.max_rss_delta_kb});
       // first_child is newest-first, so a straight push yields creation
       // order when popped.
       for (std::int32_t c = n.first_child; c >= 0;
@@ -231,6 +254,7 @@ void Profiler::write_json(JsonWriter& w) const {
           done.push_back(level[i]);
           std::uint64_t count = 0;
           double wall = 0, cpu = 0;
+          std::uint64_t rss = 0;
           std::vector<std::size_t> kids;
           for (std::size_t j = i; j < level.size(); ++j) {
             const NodeView& u = flat[level[j]];
@@ -238,12 +262,14 @@ void Profiler::write_json(JsonWriter& w) const {
             count += u.count;
             wall += u.wall_seconds;
             cpu += u.cpu_seconds;
+            rss = std::max(rss, u.max_rss_delta_kb);
             for (std::size_t c : children_of(level[j])) kids.push_back(c);
           }
           w.key(v.name).begin_object();
           w.field("count", count);
           w.field("wall_seconds", wall);
           w.field("cpu_seconds", cpu);
+          w.field("max_rss_delta_kb", rss);
           w.key("children");
           emit_level(kids);
           w.end_object();
@@ -278,6 +304,9 @@ void Profiler::write_chrome_trace(JsonWriter& w) const {
       w.field("dur", o.dur_us);
       w.field("pid", std::uint64_t{1});
       w.field("tid", tp->tid);
+      w.key("args").begin_object();
+      w.field("rss_delta_kb", o.rss_delta_kb);
+      w.end_object();
       w.end_object();
     }
   }

@@ -5,7 +5,9 @@
 // child node "construct" under "trace_grid", and every visit accumulates
 // into that node, so a loop that enters the same span 1000 times costs one
 // node, not 1000.  Each node records call count, wall time
-// (steady_clock) and CPU time (getrusage).
+// (steady_clock), CPU time (getrusage) and the largest peak-RSS growth
+// (getrusage ru_maxrss delta, KiB) any single visit caused — memory
+// blowups show up in the span tree the same way time regressions do.
 //
 // Two exports:
 //
@@ -70,6 +72,11 @@ class Profiler {
     std::uint64_t count = 0;
     double wall_seconds = 0;
     double cpu_seconds = 0;
+    /// Largest growth of the process peak RSS (getrusage ru_maxrss, KiB)
+    /// observed across this span's visits.  Nonzero only for visits that
+    /// pushed the process to a new memory high-water mark, so construction
+    /// -phase blowups land on the span that allocated them.
+    std::uint64_t max_rss_delta_kb = 0;
   };
   /// Aggregated tree over every thread that ever recorded a span, threads
   /// in registration order.  Safe to call while disabled.
@@ -105,6 +112,7 @@ class Profiler {
     std::uint64_t count = 0;
     double wall_seconds = 0;
     double cpu_seconds = 0;
+    std::uint64_t max_rss_delta_kb = 0;  // largest single-visit peak growth
   };
 
   struct Occurrence {
@@ -112,12 +120,14 @@ class Profiler {
     std::uint64_t start_us;  // since profiler epoch
     std::uint64_t dur_us;
     std::int32_t depth;
+    std::uint64_t rss_delta_kb;  // peak-RSS growth during this occurrence
   };
 
   struct Frame {
     std::int32_t node;
     std::uint64_t wall_start_ns;
     double cpu_start;
+    std::uint64_t rss_start_kb;  // process peak RSS at entry
   };
 
   /// All per-thread state; registered once per thread, torn down only by

@@ -17,6 +17,9 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kDrop: return "drop";
     case TraceEventKind::kWormStart: return "worm_start";
     case TraceEventKind::kWormDone: return "worm_done";
+    case TraceEventKind::kFault: return "fault";
+    case TraceEventKind::kRepair: return "repair";
+    case TraceEventKind::kRetransmit: return "retransmit";
   }
   return "unknown";
 }

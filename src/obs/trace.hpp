@@ -12,9 +12,15 @@
 //   kQueueDepth a link queue reached a new per-link high-water mark
 //                                                (value = the new depth)
 //   kArrive     packet delivered                 (value = latency in steps)
-//   kDrop       packet dropped by fault injection (link = first dead link)
+//   kDrop       packet dropped by fault injection (link = first dead link;
+//               for mid-run truncation, value = hops completed at the break)
 //   kWormStart  wormhole message acquired its whole route (value = flits)
 //   kWormDone   wormhole message fully delivered (value = completion step)
+//   kFault      a scheduled fault activated a directed link (link = its id)
+//   kRepair     a scheduled repair revived a directed link (link = its id)
+//   kRetransmit sender re-injected a lost fragment on a surviving path
+//               (packet = message id, link = first link of the new route,
+//               value = attempt number)
 //
 // Events are buffered per step by StepTrace and forwarded to the sink in a
 // canonical sorted order at the step barrier.  The parallel simulator feeds
@@ -39,7 +45,13 @@ enum class TraceEventKind : std::uint8_t {
   kDrop,
   kWormStart,
   kWormDone,
+  kFault,
+  kRepair,
+  kRetransmit,
 };
+
+/// Number of distinct TraceEventKind values (per-kind counter array size).
+inline constexpr std::size_t kNumTraceEventKinds = 11;
 
 /// Stable lowercase name used in the JSONL encoding.
 const char* to_string(TraceEventKind kind);
@@ -101,7 +113,7 @@ class RingBufferSink final : public TraceSink {
   std::size_t head_ = 0;  // next write position
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
-  std::uint64_t by_kind_[8] = {};
+  std::uint64_t by_kind_[kNumTraceEventKinds] = {};
 };
 
 /// Streaming JSONL sink: one JSON object per line, e.g.

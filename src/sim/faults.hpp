@@ -1,14 +1,28 @@
-// Link-fault injection (the fault-tolerance application of Sections 1 and 9).
+// Link- and node-fault injection (the fault-tolerance application of
+// Sections 1 and 9).
 //
-// A fault set is a collection of dead *directed* links (a broken physical
-// link is modeled as both directions dead).  Multiple-path embeddings
-// tolerate faults structurally: a guest edge with w edge-disjoint paths
-// still delivers over every path that avoids the dead links, and combined
-// with information dispersal (see ida.hpp) the message survives as long as
-// enough fragments get through.
+// Two layers:
+//
+//   * FaultSet — a static snapshot of dead *directed* links (a broken
+//     physical link is modeled as both directions dead; a dead node as all
+//     its incident links dead plus the node itself).  Multiple-path
+//     embeddings tolerate faults structurally: a guest edge with w
+//     edge-disjoint paths still delivers over every path that avoids the
+//     dead links, and combined with information dispersal (see ida.hpp) the
+//     message survives as long as enough fragments get through.
+//
+//   * FaultSchedule / FaultTimeline — *timed* fault and repair events
+//     (permanent and transient, links and nodes) that arrive mid-simulation.
+//     The store-and-forward simulators replay a schedule step by step
+//     (run_with_faults), truncating in-flight packets at the break point;
+//     the recovery engine (recovery.hpp) adds sender-side failover onto the
+//     surviving paths of each bundle.
 #pragma once
 
-#include <unordered_set>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "base/rng.hpp"
 #include "embed/embedding.hpp"
@@ -24,21 +38,48 @@ class FaultSet {
   /// Marks the physical link between u and v dead (both directions).
   void kill_link(Node u, Node v);
 
-  /// Kills `count` distinct random physical links.
+  /// Revives one prior kill of the physical link between u and v.  A link
+  /// killed twice (e.g. directly and via a node fault) stays dead until
+  /// both kills are revived.
+  void revive_link(Node u, Node v);
+
+  /// Marks node v dead: v itself plus all 2n directed links incident to it
+  /// (in and out).  Models a processor failure, so node-disjoint path
+  /// bundles can be exercised.
+  void kill_node(Node v);
+
+  /// Revives one prior kill_node(v).
+  void revive_node(Node v);
+
+  /// Kills `count` distinct random physical links.  Throws if `count` is
+  /// negative or exceeds the number of physical links of Q_dims.
   static FaultSet random(int dims, int count, Rng& rng);
+
+  /// Kills `count` distinct random nodes.  Throws if `count` is negative or
+  /// exceeds the number of nodes of Q_dims.
+  static FaultSet random_nodes(int dims, int count, Rng& rng);
 
   bool link_dead(Node u, Node v) const {
     return dead_.contains(host_.edge_id(u, v));
   }
 
-  /// True iff every hop of the path is alive.
+  bool node_dead(Node v) const { return dead_nodes_.contains(v); }
+
+  /// True iff every hop of the path is alive and no node on it is dead.
   bool path_alive(const HostPath& path) const;
 
   std::size_t num_dead_directed() const { return dead_.size(); }
+  std::size_t num_dead_nodes() const { return dead_nodes_.size(); }
 
  private:
+  void add_dead(std::uint64_t id);
+  void remove_dead(std::uint64_t id);
+
   Hypercube host_;
-  std::unordered_set<std::uint64_t> dead_;
+  // Directed link id -> number of active kills (a link can be dead both
+  // directly and through an endpoint's node fault).
+  std::unordered_map<std::uint64_t, int> dead_;
+  std::unordered_map<Node, int> dead_nodes_;
 };
 
 /// Result of delivering one guest edge's message over its path bundle under
@@ -78,5 +119,116 @@ struct DegradedResult {
 DegradedResult run_phase_with_faults(const FaultSet& faults,
                                      const MultiPathEmbedding& emb, int p,
                                      obs::TraceSink* sink = nullptr);
+
+// ---------------------------------------------------------------------------
+// Timed fault schedules
+
+enum class FaultEventKind : std::uint8_t {
+  kLinkDown = 0,
+  kLinkUp,
+  kNodeDown,
+  kNodeUp,
+};
+
+const char* to_string(FaultEventKind kind);
+
+/// One timed fault or repair.  `u`/`v` are the link endpoints for link
+/// events; node events use `u` only.
+struct FaultEvent {
+  int step = 0;
+  FaultEventKind kind = FaultEventKind::kLinkDown;
+  Node u = 0;
+  Node v = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// An ordered list of timed fault/repair events on Q_dims.  Events are kept
+/// sorted by step (stable in insertion order within a step), so replaying a
+/// schedule is deterministic.  Serializable to a small line-oriented text
+/// format for CLI replay (`hyperpath_cli faults replay FILE`):
+///
+///   dims 8            # header, required first
+///   0 link-down 3 7   # step kind endpoints
+///   4 node-down 12
+///   10 link-up 3 7    # transient faults pair a -down with a later -up
+///   # comments and blank lines are ignored
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(int dims);
+
+  int dims() const { return host_.dims(); }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Permanent link fault at `step` (both directions of the physical link).
+  void link_down(int step, Node u, Node v);
+  /// Repairs one prior link fault at `step`.
+  void link_up(int step, Node u, Node v);
+  /// Permanent node fault at `step` (the node plus all incident links).
+  void node_down(int step, Node v);
+  /// Repairs one prior node fault at `step`.
+  void node_up(int step, Node v);
+  /// Transient link fault: down at `step`, repaired at `repair_step`.
+  void transient_link(int step, int repair_step, Node u, Node v);
+  /// Transient node fault: down at `step`, repaired at `repair_step`.
+  void transient_node(int step, int repair_step, Node v);
+
+  /// Static snapshot after applying every event with event.step <= step.
+  /// The sender-side view a recovery protocol probes before retransmitting.
+  FaultSet state_at(int step) const;
+
+  /// Final state (every event applied) — the permanent faults.
+  FaultSet final_state() const;
+
+  std::string serialize() const;
+  /// Parses the serialize() format; throws hyperpath::Error on malformed
+  /// input (unknown directive, bad endpoints, missing dims header).
+  static FaultSchedule parse(const std::string& text);
+
+ private:
+  void add(FaultEvent e);
+
+  Hypercube host_;
+  std::vector<FaultEvent> events_;  // sorted by step, stable
+};
+
+/// Replay cursor over a FaultSchedule, expanded to directed-link
+/// granularity.  The simulators advance it once per step and purge queues
+/// of currently-dead links; dead links are kept in a sorted map so the
+/// purge order (and hence the emitted trace) is canonical.
+class FaultTimeline {
+ public:
+  explicit FaultTimeline(const FaultSchedule& schedule);
+
+  /// Applies every event with step <= `step` (monotone per replay).
+  /// Returns the directed link ids that died / were repaired by the newly
+  /// applied events (sorted, deduplicated; empty when none fired).
+  struct StepDelta {
+    std::vector<std::uint64_t> died;
+    std::vector<std::uint64_t> repaired;
+  };
+  const StepDelta& advance_to(int step);
+
+  bool link_dead(std::uint64_t directed_id) const {
+    return dead_.contains(directed_id);
+  }
+
+  /// Currently dead directed link ids -> active kill count, in sorted id
+  /// order (deterministic iteration).
+  const std::map<std::uint64_t, int>& dead_links() const { return dead_; }
+
+ private:
+  void apply(const FaultEvent& e);
+  void kill(std::uint64_t id);
+  void revive(std::uint64_t id);
+
+  Hypercube host_;
+  const std::vector<FaultEvent>* events_;
+  std::size_t cursor_ = 0;
+  std::map<std::uint64_t, int> dead_;
+  StepDelta delta_;
+};
 
 }  // namespace hyperpath

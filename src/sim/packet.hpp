@@ -23,6 +23,24 @@ struct Packet {
   std::uint32_t tag = 0;  // caller-defined grouping (e.g. guest edge id)
 };
 
+/// What happened to one packet of a faulty run (parallel to the input
+/// packet list).
+struct PacketFate {
+  enum class Kind : std::uint8_t {
+    kDelivered = 0,  // reached its destination; step = arrival step
+    kLost,           // truncated at a dead link; step = loss step,
+                     // link = the dead directed link, hops = completed hops
+  };
+
+  Kind kind = Kind::kDelivered;
+  int step = 0;
+  std::uint64_t link = ~std::uint64_t{0};
+  int hops = 0;
+
+  bool delivered() const { return kind == Kind::kDelivered; }
+  friend bool operator==(const PacketFate&, const PacketFate&) = default;
+};
+
 /// Outcome of a synchronous simulation run.
 struct SimResult {
   /// Number of steps until the last packet reached its destination (0 if
@@ -49,6 +67,15 @@ struct SimResult {
   obs::FixedHistogram latency;
 
   double average_utilization() const { return utilization.average(); }
+};
+
+/// Outcome of a run under a timed fault schedule (run_with_faults): the
+/// usual SimResult for the traffic that moved, plus the per-packet fates.
+struct FaultRunResult {
+  SimResult sim;
+  std::vector<PacketFate> fates;  // parallel to the input packet list
+  std::size_t delivered = 0;
+  std::size_t lost = 0;
 };
 
 }  // namespace hyperpath

@@ -10,8 +10,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "base/error.hpp"
 #include "obs/profile.hpp"
+#include "sim/faults.hpp"
 
 namespace hyperpath {
 
@@ -97,6 +100,26 @@ ParallelStoreForwardSim::ParallelStoreForwardSim(int dims, int threads)
 SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
                                        int max_steps,
                                        obs::TraceSink* sink) const {
+  return run_impl(packets, max_steps, sink, nullptr, false, nullptr);
+}
+
+FaultRunResult ParallelStoreForwardSim::run_with_faults(
+    const std::vector<Packet>& packets, const FaultSchedule& schedule,
+    int max_steps, obs::TraceSink* sink, bool announce_faults) const {
+  HP_CHECK(schedule.dims() == host_.dims(),
+           "fault schedule dims mismatch simulator dims");
+  FaultRunResult out;
+  out.sim = run_impl(packets, max_steps, sink, &schedule, announce_faults,
+                     &out);
+  return out;
+}
+
+SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
+                                            int max_steps,
+                                            obs::TraceSink* sink,
+                                            const FaultSchedule* schedule,
+                                            bool announce_faults,
+                                            FaultRunResult* fault_out) const {
   HP_PROFILE_SPAN("sim/parallel");
   {
     HP_PROFILE_SPAN("setup");
@@ -133,6 +156,12 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
   std::vector<std::uint32_t> hop(packets.size(), 0);
   std::size_t undelivered = 0;
   std::vector<std::vector<std::uint32_t>> release_at;
+
+  std::optional<FaultTimeline> timeline;
+  if (schedule != nullptr) timeline.emplace(*schedule);
+  if (fault_out != nullptr) {
+    fault_out->fates.assign(packets.size(), PacketFate{});
+  }
 
   const auto enqueue = [&](std::uint32_t id) {
     const Packet& p = packets[id];
@@ -173,12 +202,50 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
   HP_PROFILE_SPAN("steps");
   while (undelivered > 0) {
     HP_CHECK(step < max_steps, "simulation exceeded max_steps");
+
+    // Scheduled faults and repairs fire first, on the main thread (workers
+    // are parked between rounds), exactly as in the serial simulator.
+    if (timeline) {
+      const FaultTimeline::StepDelta& delta = timeline->advance_to(step);
+      if (announce_faults && tracing) {
+        for (std::uint64_t link : delta.died) {
+          trace.record({step, TraceEventKind::kFault, TraceEvent::kNoPacket,
+                        link, 0});
+        }
+        for (std::uint64_t link : delta.repaired) {
+          trace.record({step, TraceEventKind::kRepair, TraceEvent::kNoPacket,
+                        link, 0});
+        }
+      }
+    }
+
     if (static_cast<std::size_t>(step) < release_at.size()) {
       for (std::uint32_t id : release_at[step]) {
         const std::uint64_t link = enqueue(id);
         if (tracing) {
           trace.record({step, TraceEventKind::kRelease, id, link, 0});
         }
+      }
+    }
+
+    // Truncation at dead links, main thread, sorted dead-link order —
+    // byte-identical drop stream to the serial simulator.
+    if (timeline && !timeline->dead_links().empty()) {
+      for (const auto& [link, kills] : timeline->dead_links()) {
+        auto& qs = shard[shard_of(link)].queues;
+        auto it = qs.find(link);
+        if (it == qs.end() || it->second.empty()) continue;
+        for (std::uint32_t id : it->second) {
+          --undelivered;
+          if (fault_out != nullptr) {
+            fault_out->fates[id] = {PacketFate::Kind::kLost, step, link,
+                                    static_cast<int>(hop[id])};
+          }
+          if (tracing) {
+            trace.record({step, TraceEventKind::kDrop, id, link, hop[id]});
+          }
+        }
+        it->second.clear();
       }
     }
 
@@ -239,6 +306,11 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
         const std::uint64_t lat =
             static_cast<std::uint64_t>(step + 1 - p.release);
         result.latency.observe(static_cast<double>(lat));
+        if (fault_out != nullptr) {
+          fault_out->fates[id] = {PacketFate::Kind::kDelivered, step,
+                                  TraceEvent::kNoLink,
+                                  static_cast<int>(hop[id])};
+        }
         if (tracing) {
           trace.record({step, TraceEventKind::kArrive, id,
                         TraceEvent::kNoLink, lat});
@@ -261,6 +333,15 @@ SimResult ParallelStoreForwardSim::run(const std::vector<Packet>& packets,
     result.max_queue = std::max(result.max_queue, sh.max_queue);
     for (int d = 0; d < dims; ++d) {
       result.dim_transmissions[d] += sh.dim_tx[d];
+    }
+  }
+  if (fault_out != nullptr) {
+    for (const PacketFate& f : fault_out->fates) {
+      if (f.delivered()) {
+        ++fault_out->delivered;
+      } else {
+        ++fault_out->lost;
+      }
     }
   }
   return result;

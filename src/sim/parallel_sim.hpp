@@ -32,7 +32,21 @@ class ParallelStoreForwardSim {
                 int max_steps = 1 << 22,
                 obs::TraceSink* sink = nullptr) const;
 
+  /// Fault-schedule replay, bit-identical to
+  /// StoreForwardSim::run_with_faults (same FaultRunResult, same trace).
+  /// Fault application and queue truncation run on the main thread between
+  /// worker rounds, so the sharding never reorders them.
+  FaultRunResult run_with_faults(const std::vector<Packet>& packets,
+                                 const FaultSchedule& schedule,
+                                 int max_steps = 1 << 22,
+                                 obs::TraceSink* sink = nullptr,
+                                 bool announce_faults = true) const;
+
  private:
+  SimResult run_impl(const std::vector<Packet>& packets, int max_steps,
+                     obs::TraceSink* sink, const FaultSchedule* schedule,
+                     bool announce_faults, FaultRunResult* fault_out) const;
+
   Hypercube host_;
   int threads_;
 };

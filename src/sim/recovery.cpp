@@ -1,0 +1,219 @@
+#include "sim/recovery.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/store_forward.hpp"
+
+namespace hyperpath {
+
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceEventKind;
+
+/// One in-flight fragment of one message.
+struct Frag {
+  std::uint32_t message = 0;  // guest edge id
+  int index = 0;              // fragment index within the bundle
+  int path_idx = 0;           // bundle path it currently rides
+  int attempts = 0;           // retransmissions consumed so far
+};
+
+/// Mutable per-message bookkeeping during the wave loop.
+struct MessageState {
+  std::vector<bool> got;  // distinct fragment indices delivered
+  int delivered = 0;
+};
+
+}  // namespace
+
+RecoveryResult run_recovery(const MultiPathEmbedding& emb,
+                            const FaultSchedule& schedule,
+                            const RecoveryConfig& config,
+                            obs::TraceSink* sink) {
+  HP_PROFILE_SPAN("sim/recovery");
+  HP_CHECK(schedule.dims() == emb.host().dims(),
+           "fault schedule dims mismatch embedding host dims");
+  HP_CHECK(config.timeout > 0, "recovery timeout must be positive");
+  HP_CHECK(config.max_retries >= 0, "negative retry budget");
+
+  const std::size_t num_messages = emb.guest().num_edges();
+  const int dims = emb.host().dims();
+
+  RecoveryResult result;
+  result.messages.assign(num_messages, MessageOutcome{});
+  result.messages_total = num_messages;
+  result.recovery_latency = obs::FixedHistogram::exponential();
+
+  std::vector<MessageState> state(num_messages);
+  std::vector<int> threshold(num_messages, 0);
+
+  // Wave 0: one fragment per bundle path of every guest edge.
+  std::vector<Packet> packets;
+  std::vector<Frag> frags;
+  for (std::uint32_t e = 0; e < num_messages; ++e) {
+    const std::span<const HostPath> bundle = emb.paths(e);
+    const int w = static_cast<int>(bundle.size());
+    threshold[e] = (config.threshold <= 0) ? w
+                                           : std::min(config.threshold, w);
+    state[e].got.assign(w, false);
+    for (int f = 0; f < w; ++f) {
+      packets.push_back({bundle[f], 0, e});
+      frags.push_back({e, f, f, 0});
+    }
+  }
+  result.fragments_sent = packets.size();
+
+  const StoreForwardSim serial(dims);
+  const ParallelStoreForwardSim parallel(dims, config.threads);
+
+  // The engine's own trace recorder (kRetransmit events).  Events of one
+  // wave are flushed together; StepTrace's canonical sort puts them in step
+  // order within the batch.
+  obs::StepTrace rtrace(sink);
+
+  while (!packets.empty()) {
+    const bool announce = result.waves == 0;
+    FaultRunResult wave =
+        config.parallel
+            ? parallel.run_with_faults(packets, schedule, config.max_steps,
+                                       sink, announce)
+            : serial.run_with_faults(packets, schedule, Arbitration::kFifo,
+                                     config.max_steps, sink, announce);
+    ++result.waves;
+    result.total_transmissions += wave.sim.total_transmissions;
+    result.makespan = std::max(result.makespan, wave.sim.makespan);
+
+    // Order both outcome lists by (step, wave-packet id) — the canonical
+    // order the events happened in.
+    std::vector<std::uint32_t> delivered_ids, lost_ids;
+    for (std::uint32_t i = 0; i < wave.fates.size(); ++i) {
+      (wave.fates[i].delivered() ? delivered_ids : lost_ids).push_back(i);
+    }
+    const auto by_step = [&](std::uint32_t a, std::uint32_t b) {
+      if (wave.fates[a].step != wave.fates[b].step) {
+        return wave.fates[a].step < wave.fates[b].step;
+      }
+      return a < b;
+    };
+    std::sort(delivered_ids.begin(), delivered_ids.end(), by_step);
+    std::sort(lost_ids.begin(), lost_ids.end(), by_step);
+
+    // Deliveries first: a message that reached its threshold this wave
+    // suppresses retransmission of its remaining lost fragments ("succeed
+    // as soon as any threshold fragments arrive").
+    for (std::uint32_t i : delivered_ids) {
+      const Frag& fg = frags[i];
+      const PacketFate& fate = wave.fates[i];
+      ++result.fragments_delivered;
+      result.useful_transmissions +=
+          static_cast<std::uint64_t>(packets[i].route.size() - 1);
+      MessageState& ms = state[fg.message];
+      MessageOutcome& out = result.messages[fg.message];
+      if (out.complete || ms.got[fg.index]) continue;
+      ms.got[fg.index] = true;
+      ++ms.delivered;
+      ++out.fragments_delivered;
+      if (ms.delivered >= threshold[fg.message]) {
+        out.complete = true;
+        out.complete_step = fate.step;
+      }
+    }
+
+    // Losses: retransmit on the next surviving path, with exponential
+    // backoff; an attempt whose probe finds every path dead is consumed
+    // (the sender waited the backoff for nothing) and the next attempt
+    // probes again after a doubled wait.
+    std::vector<Packet> next_packets;
+    std::vector<Frag> next_frags;
+    for (std::uint32_t i : lost_ids) {
+      Frag fg = frags[i];
+      const PacketFate& fate = wave.fates[i];
+      ++result.fragments_lost;
+      MessageOutcome& out = result.messages[fg.message];
+      const bool pre_completion = !out.complete || fate.step < out.complete_step;
+      if (pre_completion &&
+          (out.first_loss_step < 0 || fate.step < out.first_loss_step)) {
+        out.first_loss_step = fate.step;
+      }
+      if (out.complete) continue;  // message already reconstructed
+
+      const std::span<const HostPath> bundle = emb.paths(fg.message);
+      const int w = static_cast<int>(bundle.size());
+      bool scheduled = false;
+      while (fg.attempts < config.max_retries) {
+        ++fg.attempts;
+        const std::int64_t detect =
+            static_cast<std::int64_t>(fate.step) +
+            (static_cast<std::int64_t>(config.timeout) << (fg.attempts - 1));
+        if (detect >= config.max_steps) break;  // beyond the horizon
+        const FaultSet probe = schedule.state_at(static_cast<int>(detect));
+        int chosen = -1;
+        for (int k = 1; k <= w; ++k) {
+          const int cand = (fg.path_idx + k) % w;
+          if (probe.path_alive(bundle[cand])) {
+            chosen = cand;
+            break;
+          }
+        }
+        if (chosen < 0) continue;  // every path dead at detect time: back off
+        fg.path_idx = chosen;
+        ++result.retransmissions;
+        ++result.fragments_sent;
+        ++out.retransmissions;
+        if (rtrace.enabled()) {
+          const HostPath& route = bundle[chosen];
+          const std::uint64_t first_link =
+              route.size() > 1 ? emb.host().edge_id(route[0], route[1])
+                               : TraceEvent::kNoLink;
+          rtrace.record({static_cast<std::int32_t>(detect),
+                         TraceEventKind::kRetransmit, fg.message, first_link,
+                         static_cast<std::uint64_t>(fg.attempts)});
+        }
+        next_packets.push_back(
+            {bundle[chosen], static_cast<int>(detect), fg.message});
+        next_frags.push_back(fg);
+        scheduled = true;
+        break;
+      }
+      if (!scheduled) ++result.fragments_exhausted;
+    }
+    rtrace.end_step();
+
+    packets = std::move(next_packets);
+    frags = std::move(next_frags);
+  }
+  rtrace.finish();
+
+  for (const MessageOutcome& m : result.messages) {
+    if (m.complete) ++result.messages_complete;
+    if (m.recovered()) {
+      ++result.messages_recovered;
+      result.recovery_latency.observe(
+          static_cast<double>(m.complete_step - m.first_loss_step));
+    }
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("recovery.messages_total").add(result.messages_total);
+  reg.counter("recovery.messages_complete").add(result.messages_complete);
+  reg.counter("recovery.retransmissions").add(result.retransmissions);
+  reg.counter("recovery.fragments_lost").add(result.fragments_lost);
+  reg.gauge("recovery.delivery_rate").set(result.delivery_rate());
+  reg.gauge("recovery.goodput").set(result.goodput());
+  auto& hist = reg.histogram("recovery.time_to_recover",
+                             obs::FixedHistogram::exponential().bounds());
+  for (const MessageOutcome& m : result.messages) {
+    if (m.recovered()) {
+      hist.observe(static_cast<double>(m.complete_step - m.first_loss_step));
+    }
+  }
+  return result;
+}
+
+}  // namespace hyperpath

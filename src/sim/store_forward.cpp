@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <unordered_map>
 
 #include "base/error.hpp"
 #include "obs/profile.hpp"
+#include "sim/faults.hpp"
 
 namespace hyperpath {
 
@@ -17,6 +19,27 @@ StoreForwardSim::StoreForwardSim(int dims) : host_(dims) {}
 SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
                                Arbitration policy, int max_steps,
                                obs::TraceSink* sink) const {
+  return run_impl(packets, policy, max_steps, sink, nullptr, false, nullptr);
+}
+
+FaultRunResult StoreForwardSim::run_with_faults(
+    const std::vector<Packet>& packets, const FaultSchedule& schedule,
+    Arbitration policy, int max_steps, obs::TraceSink* sink,
+    bool announce_faults) const {
+  HP_CHECK(schedule.dims() == host_.dims(),
+           "fault schedule dims mismatch simulator dims");
+  FaultRunResult out;
+  out.sim = run_impl(packets, policy, max_steps, sink, &schedule,
+                     announce_faults, &out);
+  return out;
+}
+
+SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
+                                    Arbitration policy, int max_steps,
+                                    obs::TraceSink* sink,
+                                    const FaultSchedule* schedule,
+                                    bool announce_faults,
+                                    FaultRunResult* fault_out) const {
   HP_PROFILE_SPAN("sim/store_forward");
   {
     // Validate routes up front.
@@ -42,6 +65,12 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
 
   std::vector<std::uint32_t> hop(packets.size(), 0);  // next edge index
   std::size_t undelivered = 0;
+
+  std::optional<FaultTimeline> timeline;
+  if (schedule != nullptr) timeline.emplace(*schedule);
+  if (fault_out != nullptr) {
+    fault_out->fates.assign(packets.size(), PacketFate{});
+  }
 
   // Packets released later than step 0 sit in a release list.
   std::vector<std::vector<std::uint32_t>> release_at;
@@ -85,12 +114,49 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
   HP_PROFILE_SPAN("steps");
   while (undelivered > 0) {
     HP_CHECK(step < max_steps, "simulation exceeded max_steps");
+
+    // Scheduled faults and repairs fire first, before any movement.
+    if (timeline) {
+      const FaultTimeline::StepDelta& delta = timeline->advance_to(step);
+      if (announce_faults && trace.enabled()) {
+        for (std::uint64_t link : delta.died) {
+          trace.record({step, TraceEventKind::kFault, TraceEvent::kNoPacket,
+                        link, 0});
+        }
+        for (std::uint64_t link : delta.repaired) {
+          trace.record({step, TraceEventKind::kRepair, TraceEvent::kNoPacket,
+                        link, 0});
+        }
+      }
+    }
+
     if (static_cast<std::size_t>(step) < release_at.size()) {
       for (std::uint32_t id : release_at[step]) {
         const std::uint64_t link = enqueue(id);
         if (trace.enabled()) {
           trace.record({step, TraceEventKind::kRelease, id, link, 0});
         }
+      }
+    }
+
+    // Truncation: every packet waiting on a currently-dead link is lost at
+    // the break point.  Iterates the timeline's sorted dead-link map so the
+    // emitted kDrop order is canonical.
+    if (timeline && !timeline->dead_links().empty()) {
+      for (const auto& [link, kills] : timeline->dead_links()) {
+        auto it = queues.find(link);
+        if (it == queues.end() || it->second.q.empty()) continue;
+        for (std::uint32_t id : it->second.q) {
+          --undelivered;
+          if (fault_out != nullptr) {
+            fault_out->fates[id] = {PacketFate::Kind::kLost, step, link,
+                                    static_cast<int>(hop[id])};
+          }
+          if (trace.enabled()) {
+            trace.record({step, TraceEventKind::kDrop, id, link, hop[id]});
+          }
+        }
+        it->second.q.clear();
       }
     }
 
@@ -146,7 +212,9 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
     // transmitted so a packet moves at most one hop per step.)  Same-step
     // arrivals at one link are enqueued in increasing packet id — the
     // canonical order that makes results reproducible across standard
-    // libraries and lets the parallel simulator match bit for bit.
+    // libraries and lets the parallel simulator match bit for bit.  A
+    // packet whose next link just died still enqueues here; the truncation
+    // pass of the next step drops it at that node.
     std::sort(moved.begin(), moved.end());
     for (std::uint32_t id : moved) {
       ++hop[id];
@@ -156,6 +224,11 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
         const std::uint64_t lat =
             static_cast<std::uint64_t>(step + 1 - p.release);
         result.latency.observe(static_cast<double>(lat));
+        if (fault_out != nullptr) {
+          fault_out->fates[id] = {PacketFate::Kind::kDelivered, step,
+                                  TraceEvent::kNoLink,
+                                  static_cast<int>(hop[id])};
+        }
         if (trace.enabled()) {
           trace.record({step, TraceEventKind::kArrive, id,
                         TraceEvent::kNoLink, lat});
@@ -175,6 +248,15 @@ SimResult StoreForwardSim::run(const std::vector<Packet>& packets,
   trace.finish();
   result.makespan = step;
   result.max_queue = max_queue;
+  if (fault_out != nullptr) {
+    for (const PacketFate& f : fault_out->fates) {
+      if (f.delivered()) {
+        ++fault_out->delivered;
+      } else {
+        ++fault_out->lost;
+      }
+    }
+  }
   return result;
 }
 

@@ -11,6 +11,13 @@
 // optional obs::TraceSink receives step-level events (releases, transmits,
 // stalls, queue high-water marks, arrivals); with a null sink no event is
 // ever constructed.
+//
+// run_with_faults replays a timed FaultSchedule during the run: at the start
+// of each step the schedule's events for that step fire (kFault/kRepair
+// trace events), and every packet waiting on a currently-dead link is
+// truncated at the break point (kDrop, value = hops completed).  The
+// per-packet outcome is reported in FaultRunResult::fates; the recovery
+// engine (recovery.hpp) builds sender-side retransmission on top.
 #pragma once
 
 #include "obs/trace.hpp"
@@ -19,6 +26,8 @@
 namespace hyperpath {
 
 enum class Arbitration { kFifo, kFarthestFirst };
+
+class FaultSchedule;
 
 class StoreForwardSim {
  public:
@@ -33,7 +42,26 @@ class StoreForwardSim {
                 int max_steps = 1 << 22,
                 obs::TraceSink* sink = nullptr) const;
 
+  /// Runs the packet set while replaying `schedule`.  Packets that reach a
+  /// dead link are truncated there (they stop participating); the rest run
+  /// to completion.  The simulation ends when every packet is delivered or
+  /// lost — schedule events after that point do not execute.  With
+  /// `announce_faults` false the kFault/kRepair trace events are suppressed
+  /// (used by the recovery engine, which replays one schedule across
+  /// several retransmission waves and only announces it once).
+  FaultRunResult run_with_faults(const std::vector<Packet>& packets,
+                                 const FaultSchedule& schedule,
+                                 Arbitration policy = Arbitration::kFifo,
+                                 int max_steps = 1 << 22,
+                                 obs::TraceSink* sink = nullptr,
+                                 bool announce_faults = true) const;
+
  private:
+  SimResult run_impl(const std::vector<Packet>& packets, Arbitration policy,
+                     int max_steps, obs::TraceSink* sink,
+                     const FaultSchedule* schedule, bool announce_faults,
+                     FaultRunResult* fault_out) const;
+
   Hypercube host_;
 };
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <string>
 #include <vector>
@@ -175,6 +177,52 @@ TEST(Profiler, ChromeTraceIsValidAndNested) {
   // Complete events nest by interval containment in the trace viewer.
   EXPECT_LE(outer_start, inner_start);
   EXPECT_GE(outer_end, inner_end);
+}
+
+TEST(Profiler, PeakRssDeltaLandsOnTheAllocatingSpan) {
+  Profiler p;
+  p.set_enabled(true);
+  struct rusage before, after;
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &before), 0);
+  {
+    ProfileSpan span("alloc", &p);
+    // Touch every page of a fresh 96 MiB block so the resident set grows.
+    std::vector<std::uint8_t> big(96u << 20);
+    for (std::size_t i = 0; i < big.size(); i += 4096) big[i] = 1;
+    g_sink = g_sink + big[big.size() / 2];
+  }
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &after), 0);
+  const auto nodes = p.nodes();
+  ASSERT_EQ(nodes.size(), 1u);
+  // The span's delta is exactly the process peak growth it caused (both
+  // sides read the same monotone ru_maxrss counter).  If this process had
+  // already peaked above the allocation the delta is legitimately zero.
+  const std::uint64_t grew =
+      after.ru_maxrss > before.ru_maxrss
+          ? static_cast<std::uint64_t>(after.ru_maxrss - before.ru_maxrss)
+          : 0;
+  if (grew > 0) {
+    EXPECT_GT(nodes[0].max_rss_delta_kb, 0u);
+    EXPECT_LE(nodes[0].max_rss_delta_kb, grew);
+  } else {
+    EXPECT_EQ(nodes[0].max_rss_delta_kb, 0u);
+  }
+
+  // The field is exported in both JSON forms.
+  const auto doc = json_parse(p.to_json());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* rss = doc->find("alloc", "max_rss_delta_kb");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(rss->as_number()),
+            nodes[0].max_rss_delta_kb);
+  const auto trace = json_parse(p.chrome_trace_json());
+  ASSERT_TRUE(trace.has_value());
+  const auto& events = trace->find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 1u);
+  const JsonValue* args_rss = events[0].find("args", "rss_delta_kb");
+  ASSERT_NE(args_rss, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(args_rss->as_number()),
+            nodes[0].max_rss_delta_kb);
 }
 
 TEST(Profiler, ResetDropsEverything) {

@@ -1,0 +1,552 @@
+// Tests for timed fault schedules (FaultSchedule / FaultTimeline), the
+// simulators' run_with_faults truncation semantics, and the sender-side
+// recovery engine (sim/recovery.hpp) — including the serial/parallel
+// bit-identity guarantee under faults.
+#include "sim/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "core/cycle_multipath.hpp"
+#include "embed/classical.hpp"
+#include "obs/trace.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/phase.hpp"
+#include "sim/store_forward.hpp"
+#include "sim/workloads.hpp"
+
+namespace hyperpath {
+namespace {
+
+using obs::RingBufferSink;
+using obs::TraceEvent;
+using obs::TraceEventKind;
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_transmissions, b.total_transmissions);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.max_queue, b.max_queue);
+  EXPECT_EQ(a.dim_transmissions, b.dim_transmissions);
+  EXPECT_EQ(a.latency, b.latency);
+}
+
+void expect_identical(const FaultRunResult& a, const FaultRunResult& b) {
+  expect_identical(a.sim, b.sim);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.lost, b.lost);
+  ASSERT_EQ(a.fates.size(), b.fates.size());
+  for (std::size_t i = 0; i < a.fates.size(); ++i) {
+    EXPECT_EQ(a.fates[i], b.fates[i]) << "fate of packet " << i;
+  }
+}
+
+std::vector<Packet> random_workload(int dims, int count, std::uint64_t seed) {
+  Rng rng(seed);
+  const Hypercube q(dims);
+  std::vector<Packet> out;
+  for (int i = 0; i < count; ++i) {
+    Packet p;
+    const Node s = static_cast<Node>(rng.below(q.num_nodes()));
+    const Node d = static_cast<Node>(rng.below(q.num_nodes()));
+    p.route = ecube_route(q, s, d);
+    p.release = static_cast<int>(rng.below(3));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FaultSet node faults + random validation (satellite regression)
+
+TEST(FaultSetNode, KillNodeKillsAllIncidentLinks) {
+  FaultSet f(3);
+  f.kill_node(0b000);
+  EXPECT_TRUE(f.node_dead(0b000));
+  EXPECT_EQ(f.num_dead_nodes(), 1u);
+  EXPECT_EQ(f.num_dead_directed(), 6u);  // 2n with n = 3
+  for (Dim d = 0; d < 3; ++d) {
+    EXPECT_TRUE(f.link_dead(0b000, Node{1} << d));
+    EXPECT_TRUE(f.link_dead(Node{1} << d, 0b000));
+  }
+  EXPECT_FALSE(f.link_dead(0b011, 0b111));
+}
+
+TEST(FaultSetNode, PathWithDeadIntermediateNodeIsDead) {
+  FaultSet f(3);
+  f.kill_node(0b001);
+  EXPECT_FALSE(f.path_alive({0b000, 0b001, 0b011}));
+  EXPECT_TRUE(f.path_alive({0b000, 0b010, 0b011}));
+  // Even a path that only *ends* at the dead node is dead.
+  EXPECT_FALSE(f.path_alive({0b011, 0b001}));
+}
+
+TEST(FaultSetNode, ReviveRestoresOverlappingLinkKills) {
+  // Kill a link directly AND via a node fault; reviving the node alone must
+  // leave the directly-killed link dead.
+  FaultSet f(3);
+  f.kill_link(0b000, 0b001);
+  f.kill_node(0b000);
+  f.revive_node(0b000);
+  EXPECT_FALSE(f.node_dead(0b000));
+  EXPECT_TRUE(f.link_dead(0b000, 0b001));
+  EXPECT_FALSE(f.link_dead(0b000, 0b010));
+  f.revive_link(0b000, 0b001);
+  EXPECT_EQ(f.num_dead_directed(), 0u);
+}
+
+TEST(FaultSetNode, RandomNodesKillsRequestedCount) {
+  Rng rng(3);
+  const auto f = FaultSet::random_nodes(4, 5, rng);
+  EXPECT_EQ(f.num_dead_nodes(), 5u);
+}
+
+TEST(FaultSetRandom, ThrowsInsteadOfLoopingWhenCountTooLarge) {
+  Rng rng(1);
+  // Q_3 has 12 physical links; asking for more must throw, not spin.
+  EXPECT_THROW(FaultSet::random(3, 13, rng), Error);
+  EXPECT_THROW(FaultSet::random(3, -1, rng), Error);
+  EXPECT_THROW(FaultSet::random_nodes(3, 9, rng), Error);
+  EXPECT_THROW(FaultSet::random_nodes(3, -2, rng), Error);
+  // The boundary cases are fine.
+  EXPECT_EQ(FaultSet::random(3, 12, rng).num_dead_directed(), 24u);
+  EXPECT_EQ(FaultSet::random_nodes(3, 8, rng).num_dead_nodes(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultSchedule
+
+TEST(FaultSchedule, KeepsEventsSortedByStep) {
+  FaultSchedule s(3);
+  s.link_down(5, 0b000, 0b001);
+  s.node_down(1, 0b011);
+  s.link_down(5, 0b010, 0b110);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.events()[0].step, 1);
+  EXPECT_EQ(s.events()[1].step, 5);
+  // Stable within a step: insertion order preserved.
+  EXPECT_EQ(s.events()[1].u, 0b000u);
+  EXPECT_EQ(s.events()[2].u, 0b010u);
+}
+
+TEST(FaultSchedule, StateAtAppliesPrefix) {
+  FaultSchedule s(3);
+  s.transient_link(2, 10, 0b000, 0b001);
+  s.node_down(6, 0b111);
+  EXPECT_FALSE(s.state_at(1).link_dead(0b000, 0b001));
+  EXPECT_TRUE(s.state_at(2).link_dead(0b000, 0b001));
+  EXPECT_TRUE(s.state_at(9).link_dead(0b000, 0b001));
+  EXPECT_FALSE(s.state_at(10).link_dead(0b000, 0b001));
+  EXPECT_FALSE(s.state_at(5).node_dead(0b111));
+  EXPECT_TRUE(s.state_at(6).node_dead(0b111));
+  const FaultSet end = s.final_state();
+  EXPECT_TRUE(end.node_dead(0b111));
+  EXPECT_FALSE(end.link_dead(0b000, 0b001));
+}
+
+TEST(FaultSchedule, SerializeParseRoundTrip) {
+  FaultSchedule s(4);
+  s.link_down(0, 0b0000, 0b0001);
+  s.transient_node(3, 9, 0b0101);
+  s.link_up(12, 0b0000, 0b0001);
+  const std::string text = s.serialize();
+  const FaultSchedule parsed = FaultSchedule::parse(text);
+  EXPECT_EQ(parsed.dims(), 4);
+  ASSERT_EQ(parsed.events().size(), s.events().size());
+  for (std::size_t i = 0; i < s.events().size(); ++i) {
+    EXPECT_EQ(parsed.events()[i], s.events()[i]);
+  }
+}
+
+TEST(FaultSchedule, ParseAcceptsCommentsAndRejectsGarbage) {
+  const FaultSchedule ok = FaultSchedule::parse(
+      "# a schedule\n"
+      "dims 3\n"
+      "\n"
+      "0 link-down 0 1  # first fault\n"
+      "4 node-down 7\n");
+  EXPECT_EQ(ok.size(), 2u);
+  EXPECT_THROW(FaultSchedule::parse("0 link-down 0 1\n"), Error);  // no dims
+  EXPECT_THROW(FaultSchedule::parse("dims 3\n0 melt-down 1\n"), Error);
+  EXPECT_THROW(FaultSchedule::parse("dims 3\n0 link-down 0\n"), Error);
+  EXPECT_THROW(FaultSchedule::parse("dims 3\n0 link-down 0 3\n"), Error);
+  EXPECT_THROW(FaultSchedule::parse("dims 3\nx link-down 0 1\n"), Error);
+  EXPECT_THROW(FaultSchedule::parse("dims 3\ndims 3\n"), Error);
+}
+
+TEST(FaultTimeline, ExpandsNodeEventsAndReportsDeltas) {
+  FaultSchedule s(3);
+  s.node_down(2, 0b000);
+  s.node_up(7, 0b000);
+  FaultTimeline t(s);
+  EXPECT_TRUE(t.advance_to(0).died.empty());
+  const auto& at2 = t.advance_to(2);
+  EXPECT_EQ(at2.died.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(at2.died.begin(), at2.died.end()));
+  EXPECT_TRUE(t.link_dead(Hypercube(3).edge_id(Node{0b000}, Node{0b001})));
+  const auto& at7 = t.advance_to(7);
+  EXPECT_EQ(at7.repaired.size(), 6u);
+  EXPECT_TRUE(t.dead_links().empty());
+}
+
+TEST(FaultTimeline, SameAdvanceDownUpCancelsOut) {
+  FaultSchedule s(3);
+  s.transient_link(3, 4, 0b000, 0b001);
+  FaultTimeline t(s);
+  // Jumping past both events in one advance reports neither transition.
+  const auto& delta = t.advance_to(10);
+  EXPECT_TRUE(delta.died.empty());
+  EXPECT_TRUE(delta.repaired.empty());
+  EXPECT_TRUE(t.dead_links().empty());
+}
+
+// ---------------------------------------------------------------------------
+// run_with_faults truncation semantics
+
+TEST(RunWithFaults, EmptyScheduleMatchesPlainRun) {
+  const int dims = 5;
+  const auto packets = random_workload(dims, 200, 21);
+  StoreForwardSim sim(dims);
+  const FaultSchedule empty(dims);
+  const auto plain = sim.run(packets);
+  const auto faulty = sim.run_with_faults(packets, empty);
+  expect_identical(plain, faulty.sim);
+  EXPECT_EQ(faulty.lost, 0u);
+  EXPECT_EQ(faulty.delivered, packets.size());
+  for (const PacketFate& f : faulty.fates) EXPECT_TRUE(f.delivered());
+}
+
+TEST(RunWithFaults, TruncatesInFlightPacketAtTheBreak) {
+  // One packet on a 3-hop route; its second link dies at step 1, exactly
+  // when the packet is waiting on it.
+  const Hypercube q(3);
+  std::vector<Packet> packets;
+  packets.push_back({{0b000, 0b001, 0b011, 0b111}, 0, 0});
+  FaultSchedule s(3);
+  s.link_down(1, 0b001, 0b011);
+  StoreForwardSim sim(3);
+  RingBufferSink sink;
+  const auto r = sim.run_with_faults(packets, s, Arbitration::kFifo, 1 << 22,
+                                     &sink);
+  EXPECT_EQ(r.lost, 1u);
+  EXPECT_EQ(r.delivered, 0u);
+  ASSERT_EQ(r.fates.size(), 1u);
+  EXPECT_EQ(r.fates[0].kind, PacketFate::Kind::kLost);
+  EXPECT_EQ(r.fates[0].step, 1);
+  EXPECT_EQ(r.fates[0].hops, 1);  // completed the first hop
+  EXPECT_EQ(r.fates[0].link, q.edge_id(Node{0b001}, Node{0b011}));
+  // Trace: one kFault pair (both directions), one kDrop at step 1.
+  EXPECT_EQ(sink.total(TraceEventKind::kFault), 2u);
+  EXPECT_EQ(sink.total(TraceEventKind::kDrop), 1u);
+  EXPECT_EQ(sink.total(TraceEventKind::kArrive), 0u);
+}
+
+TEST(RunWithFaults, RepairedLinkCarriesTrafficAgain) {
+  // Same route, but the link heals before the packet is released.
+  std::vector<Packet> packets;
+  packets.push_back({{0b000, 0b001, 0b011, 0b111}, 6, 0});
+  FaultSchedule s(3);
+  s.transient_link(1, 5, 0b001, 0b011);
+  StoreForwardSim sim(3);
+  RingBufferSink sink;
+  const auto r = sim.run_with_faults(packets, s, Arbitration::kFifo, 1 << 22,
+                                     &sink);
+  EXPECT_EQ(r.delivered, 1u);
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(sink.total(TraceEventKind::kFault), 2u);
+  EXPECT_EQ(sink.total(TraceEventKind::kRepair), 2u);
+}
+
+TEST(RunWithFaults, NodeFaultTruncatesTrafficThroughIt) {
+  // Every packet routed through the dead node is truncated; others pass.
+  const int dims = 4;
+  const auto packets = random_workload(dims, 150, 5);
+  FaultSchedule s(dims);
+  s.node_down(0, 0b0110);
+  StoreForwardSim sim(dims);
+  const auto r = sim.run_with_faults(packets, s);
+  EXPECT_EQ(r.delivered + r.lost, packets.size());
+  EXPECT_GT(r.lost, 0u);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (!r.fates[i].delivered()) {
+      // The break must be a link incident to the dead node.
+      const Hypercube q(dims);
+      const auto [tail, dim] = q.edge_of_id(r.fates[i].link);
+      const Node head = q.neighbor(tail, dim);
+      EXPECT_TRUE(tail == 0b0110 || head == 0b0110);
+    }
+  }
+}
+
+TEST(RunWithFaults, SerialAndParallelAreBitIdentical) {
+  const int dims = 6;
+  const auto packets = random_workload(dims, 400, 33);
+  FaultSchedule s(dims);
+  Rng rng(7);
+  const Hypercube q(dims);
+  for (int i = 0; i < 12; ++i) {
+    const Node u = static_cast<Node>(rng.below(q.num_nodes()));
+    const Dim d = static_cast<Dim>(rng.below(dims));
+    s.link_down(static_cast<int>(rng.below(8)), u, q.neighbor(u, d));
+  }
+  s.transient_node(2, 9, 0b010101);
+
+  StoreForwardSim serial(dims);
+  RingBufferSink serial_sink;
+  const auto a = serial.run_with_faults(packets, s, Arbitration::kFifo,
+                                        1 << 22, &serial_sink);
+  for (int threads : {1, 2, 5}) {
+    ParallelStoreForwardSim par(dims, threads);
+    RingBufferSink par_sink;
+    const auto b = par.run_with_faults(packets, s, 1 << 22, &par_sink);
+    expect_identical(a, b);
+    ASSERT_EQ(serial_sink.total(), par_sink.total());
+    EXPECT_EQ(serial_sink.events(), par_sink.events());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery engine
+
+TEST(Recovery, NoFaultsDeliversEverythingInOneWave) {
+  const auto emb = theorem1_cycle_embedding(6);
+  const FaultSchedule empty(6);
+  const auto r = run_recovery(emb, empty);
+  EXPECT_EQ(r.messages_complete, r.messages_total);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.waves, 1);
+  EXPECT_EQ(r.delivery_rate(), 1.0);
+  EXPECT_EQ(r.goodput(), 1.0);
+  EXPECT_EQ(r.messages_recovered, 0u);
+}
+
+TEST(Recovery, RetransmitsOntoSurvivingPathAfterLoss) {
+  // Kill one link of one bundle path mid-run; with threshold w the lost
+  // fragment must be retransmitted on another path and still arrive.
+  const auto emb = theorem1_cycle_embedding(6);
+  const std::span<const HostPath> bundle = emb.paths(0);
+  ASSERT_GE(bundle.size(), 2u);
+  // Break the longest path of bundle 0 on its middle link at step 0, so its
+  // fragment is truncated before crossing.
+  const HostPath* victim = &bundle[0];
+  for (const HostPath& p : bundle) {
+    if (p.size() > victim->size()) victim = &p;
+  }
+  ASSERT_GE(victim->size(), 3u);
+  FaultSchedule s(6);
+  s.link_down(0, (*victim)[1], (*victim)[2]);
+
+  RecoveryConfig cfg;
+  cfg.timeout = 4;
+  cfg.max_retries = 3;
+  RingBufferSink sink;
+  const auto r = run_recovery(emb, s, cfg, &sink);
+  EXPECT_EQ(r.messages_complete, r.messages_total);
+  EXPECT_GT(r.retransmissions, 0u);
+  EXPECT_GE(r.waves, 2);
+  EXPECT_GT(r.messages_recovered, 0u);
+  EXPECT_EQ(sink.total(TraceEventKind::kRetransmit), r.retransmissions);
+  EXPECT_GT(r.recovery_latency.count(), 0u);
+  EXPECT_LT(r.goodput(), 1.0);  // the truncated hops were wasted
+}
+
+TEST(Recovery, IdaThresholdCompletesWithoutRetransmission) {
+  // With threshold w-1 a single dead path per bundle costs nothing: the
+  // other w-1 fragments complete the message, and the engine suppresses
+  // the retransmit of the lost fragment.
+  const auto emb = theorem1_cycle_embedding(6);
+  const std::span<const HostPath> bundle = emb.paths(0);
+  const HostPath* victim = &bundle[0];
+  for (const HostPath& p : bundle) {
+    if (p.size() > victim->size()) victim = &p;
+  }
+  FaultSchedule s(6);
+  s.link_down(0, (*victim)[1], (*victim)[2]);
+
+  RecoveryConfig cfg;
+  cfg.threshold = emb.width() - 1;
+  // Generous timeout: every surviving fragment arrives before any loss is
+  // even detected, so no retransmission can fire for a completed message.
+  cfg.timeout = 4096;
+  const auto r = run_recovery(emb, s, cfg);
+  EXPECT_EQ(r.messages_complete, r.messages_total);
+  EXPECT_GT(r.fragments_lost, 0u);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.waves, 1);
+}
+
+TEST(Recovery, ExhaustsRetriesWhenEveryPathIsDead) {
+  // Sever every bundle path of guest edge 0 permanently: its message can
+  // never complete, and each lost fragment consumes its full retry budget.
+  const auto emb = theorem1_cycle_embedding(6);
+  const Node src = emb.host_of(0);
+  FaultSchedule s(6);
+  s.node_down(0, src);  // kills all paths out of the source
+  RecoveryConfig cfg;
+  cfg.timeout = 2;
+  cfg.max_retries = 2;
+  const auto r = run_recovery(emb, s, cfg);
+  EXPECT_LT(r.messages_complete, r.messages_total);
+  EXPECT_GT(r.fragments_exhausted, 0u);
+  EXPECT_LT(r.delivery_rate(), 1.0);
+  // Bounded retries: never more retransmissions than budget allows.
+  EXPECT_LE(r.retransmissions,
+            r.fragments_lost * static_cast<std::uint64_t>(cfg.max_retries));
+}
+
+TEST(Recovery, TransientFaultHealsAndMessageCompletes) {
+  // Dedicated single-message embedding: a width-2 bundle where BOTH paths
+  // are down initially and one heals.  The fragment retries with backoff
+  // until the repair lands, then completes.
+  const auto emb = gray_code_cycle_embedding(4);  // width 1
+  const std::span<const HostPath> bundle = emb.paths(0);
+  ASSERT_EQ(bundle.size(), 1u);
+  const HostPath& path = bundle[0];
+  ASSERT_GE(path.size(), 2u);
+  FaultSchedule s(4);
+  s.transient_link(0, 40, path[0], path[1]);
+
+  RecoveryConfig cfg;
+  cfg.timeout = 8;
+  cfg.max_retries = 5;
+  const auto r = run_recovery(emb, s, cfg);
+  // Message 0's fragment is lost at release, then backed off past step 40
+  // (8 + 16 + 32 > 40) and delivered on the healed path.
+  EXPECT_TRUE(r.messages[0].complete);
+  EXPECT_GT(r.messages[0].retransmissions, 0);
+  EXPECT_EQ(r.messages_complete, r.messages_total);
+}
+
+// The acceptance-criteria test: a schedule that leaves every bundle at
+// least one surviving path (links and nodes both faulting) must deliver
+// every message with bounded retries, and serial vs parallel transports
+// must agree exactly — results, traces and metrics.
+TEST(Recovery, AnySubThresholdScheduleDeliversEverythingBothTransports) {
+  const auto emb = theorem1_cycle_embedding(8);
+  const int w = emb.width();
+  ASSERT_EQ(w, 5);
+  const Hypercube q(8);
+
+  // Greedily build a random fault schedule that keeps >= 1 alive path per
+  // bundle in the final state (faults are permanent, so the final state is
+  // the binding constraint for eventual delivery).
+  Rng rng(97);
+  FaultSchedule schedule(8);
+  FaultSet accum(8);
+  const auto every_bundle_survives = [&](const FaultSet& f) {
+    for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+      const auto d = deliver_over_bundle(f, emb.paths(e));
+      if (d.paths_alive == 0) return false;
+    }
+    return true;
+  };
+  int added = 0;
+  for (int tries = 0; tries < 200 && added < 24; ++tries) {
+    const Node u = static_cast<Node>(rng.below(q.num_nodes()));
+    const Dim d = static_cast<Dim>(rng.below(8));
+    const Node v = q.neighbor(u, d);
+    if (accum.link_dead(u, v)) continue;
+    accum.kill_link(u, v);
+    if (!every_bundle_survives(accum)) {
+      accum.revive_link(u, v);
+      continue;
+    }
+    schedule.link_down(static_cast<int>(rng.below(30)), u, v);
+    ++added;
+  }
+  ASSERT_GT(added, 10);  // the greedy pass found plenty of safe faults
+
+  RecoveryConfig cfg;
+  cfg.timeout = 8;
+  cfg.max_retries = 6;
+  RingBufferSink serial_sink;
+  const auto serial = run_recovery(emb, schedule, cfg, &serial_sink);
+
+  EXPECT_EQ(serial.messages_complete, serial.messages_total);
+  EXPECT_EQ(serial.fragments_exhausted, 0u);
+  EXPECT_LE(serial.retransmissions,
+            serial.fragments_lost * static_cast<std::uint64_t>(cfg.max_retries));
+  for (const MessageOutcome& m : serial.messages) {
+    EXPECT_TRUE(m.complete);
+    EXPECT_LE(m.retransmissions, w * cfg.max_retries);
+  }
+
+  cfg.parallel = true;
+  cfg.threads = 3;
+  RingBufferSink par_sink;
+  const auto par = run_recovery(emb, schedule, cfg, &par_sink);
+
+  // Identical aggregate metrics...
+  EXPECT_EQ(par.messages_complete, serial.messages_complete);
+  EXPECT_EQ(par.fragments_sent, serial.fragments_sent);
+  EXPECT_EQ(par.fragments_delivered, serial.fragments_delivered);
+  EXPECT_EQ(par.fragments_lost, serial.fragments_lost);
+  EXPECT_EQ(par.retransmissions, serial.retransmissions);
+  EXPECT_EQ(par.makespan, serial.makespan);
+  EXPECT_EQ(par.waves, serial.waves);
+  EXPECT_EQ(par.total_transmissions, serial.total_transmissions);
+  EXPECT_EQ(par.useful_transmissions, serial.useful_transmissions);
+  EXPECT_EQ(par.recovery_latency, serial.recovery_latency);
+  // ...identical per-message outcomes...
+  ASSERT_EQ(par.messages.size(), serial.messages.size());
+  for (std::size_t e = 0; e < serial.messages.size(); ++e) {
+    EXPECT_EQ(par.messages[e].complete, serial.messages[e].complete);
+    EXPECT_EQ(par.messages[e].complete_step, serial.messages[e].complete_step);
+    EXPECT_EQ(par.messages[e].first_loss_step,
+              serial.messages[e].first_loss_step);
+    EXPECT_EQ(par.messages[e].retransmissions,
+              serial.messages[e].retransmissions);
+  }
+  // ...and a byte-identical trace stream.
+  ASSERT_EQ(par_sink.total(), serial_sink.total());
+  EXPECT_EQ(par_sink.events(), serial_sink.events());
+}
+
+// ---------------------------------------------------------------------------
+// kDrop trace path of the static run_phase_with_faults (satellite)
+
+TEST(DegradedPhaseTrace, DropEventsComeFirstWithOriginalIds) {
+  const auto emb = gray_code_cycle_embedding(4);
+  FaultSet f(4);
+  f.kill_link(emb.host_of(0), emb.host_of(1));
+  RingBufferSink sink;
+  const auto r = run_phase_with_faults(f, emb, 2, &sink);
+  EXPECT_EQ(r.dropped, 2u);
+  const auto events = sink.events();
+  ASSERT_GT(events.size(), 2u);
+
+  // The kDrop events are flushed before the simulator trace begins, and
+  // carry the dead link plus the packet's index in the *original* phase
+  // packet list.
+  const auto phase = phase_packets(emb, 2);
+  const Hypercube q(4);
+  const std::uint64_t dead = q.edge_id(emb.host_of(0), emb.host_of(1));
+  std::size_t drops_seen = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind != TraceEventKind::kDrop) continue;
+    EXPECT_EQ(i, drops_seen) << "kDrop must precede the simulator trace";
+    ++drops_seen;
+    EXPECT_EQ(events[i].step, 0);
+    EXPECT_EQ(events[i].link, dead);
+    // The dropped id indexes the original phase packet list, and that
+    // packet's route really crosses the dead link.
+    ASSERT_LT(events[i].packet, phase.size());
+    EXPECT_FALSE(f.path_alive(phase[events[i].packet].route));
+  }
+  EXPECT_EQ(drops_seen, 2u);
+
+  // Packet ids inside the simulator trace index the survivor list: every
+  // arriving id must be < survivors, and survivors = delivered count.
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kArrive) {
+      EXPECT_LT(e.packet, r.delivered);
+    }
+  }
+  EXPECT_EQ(sink.total(TraceEventKind::kArrive), r.delivered);
+}
+
+}  // namespace
+}  // namespace hyperpath

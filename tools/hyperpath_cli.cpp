@@ -6,7 +6,16 @@
 //   hyperpath_cli decomp <n>            Hamiltonian decomposition summary
 //   hyperpath_cli moments <n>           moment table of Q_n
 //   hyperpath_cli faults <n> <count> [seed]   fault-tolerance snapshot
+//   hyperpath_cli faults replay <schedule-file> [...]   timed-fault replay
 //   hyperpath_cli trace <cycle|grid|ccc> ...  traced phase simulation
+//
+// `faults replay` parses a FaultSchedule text file (see
+// sim/faults.hpp: `dims N` header, then `<step> link-down|link-up|
+// node-down|node-up <u> [<v>]` lines) and replays one Theorem 1 cycle
+// phase on Q_dims under that schedule with sender-side recovery —
+// timeout detection, failover onto surviving bundle paths, bounded
+// retries.  Flags: --timeout s, --retries k, --threshold m (default
+// w-1, i.e. IDA dispersal; 0 = all fragments required), --json [FILE].
 //
 // The trace subcommand runs one phase of the chosen embedding through the
 // store-and-forward simulator with a streaming JSONL trace sink attached:
@@ -26,6 +35,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +52,7 @@
 #include "obs/trace.hpp"
 #include "sim/faults.hpp"
 #include "sim/phase.hpp"
+#include "sim/recovery.hpp"
 
 namespace hyperpath {
 namespace {
@@ -140,6 +152,123 @@ int cmd_faults(int n, int count, std::uint64_t seed) {
               "%zu\n",
               count, n, emb.width(), degraded, dead,
               emb.guest().num_edges());
+  return 0;
+}
+
+int cmd_faults_replay(int argc, char** argv) {
+  std::string file, json_path;
+  bool json = false;
+  RecoveryConfig cfg;
+  int threshold = -1;  // -1 = width - 1 (IDA), resolved once width is known
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--timeout" && i + 1 < argc) {
+      cfg.timeout = std::atoi(argv[++i]);
+    } else if (a == "--retries" && i + 1 < argc) {
+      cfg.max_retries = std::atoi(argv[++i]);
+    } else if (a == "--threshold" && i + 1 < argc) {
+      threshold = std::atoi(argv[++i]);
+    } else if (a == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (file.empty() && !a.empty() && a[0] != '-') {
+      file = a;
+    } else {
+      std::fprintf(stderr,
+                   "usage: faults replay <schedule-file> [--timeout s] "
+                   "[--retries k] [--threshold m] [--json [FILE]]\n");
+      return 1;
+    }
+  }
+  if (file.empty()) {
+    std::fprintf(stderr, "faults replay: missing schedule file\n");
+    return 1;
+  }
+  std::ifstream in(file);
+  if (!in) {
+    std::perror(file.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const FaultSchedule schedule = FaultSchedule::parse(buf.str());
+
+  const int n = schedule.dims();
+  if (!cycle_multipath_supported(n)) {
+    std::fprintf(stderr, "schedule dims %d unsupported by Theorem 1\n", n);
+    return 1;
+  }
+  const auto emb = theorem1_cycle_embedding(n);
+  cfg.threshold = threshold >= 0 ? threshold : emb.width() - 1;
+
+  const auto final_state = schedule.final_state();
+  std::printf("schedule: %zu events on Q_%d (final state: %zu directed "
+              "links dead, %zu nodes dead)\n",
+              schedule.size(), n, final_state.num_dead_directed(),
+              final_state.num_dead_nodes());
+
+  const RecoveryResult r = run_recovery(emb, schedule, cfg);
+  std::printf("replay: width %d, threshold %d of %d fragments, timeout %d, "
+              "max retries %d\n",
+              emb.width(), cfg.threshold, emb.width(), cfg.timeout,
+              cfg.max_retries);
+  std::printf("  messages: %zu/%zu delivered (%.4f), %zu recovered after a "
+              "loss\n",
+              r.messages_complete, r.messages_total, r.delivery_rate(),
+              r.messages_recovered);
+  std::printf("  fragments: %llu sent, %llu delivered, %llu lost, %llu "
+              "exhausted; %llu retransmissions\n",
+              static_cast<unsigned long long>(r.fragments_sent),
+              static_cast<unsigned long long>(r.fragments_delivered),
+              static_cast<unsigned long long>(r.fragments_lost),
+              static_cast<unsigned long long>(r.fragments_exhausted),
+              static_cast<unsigned long long>(r.retransmissions));
+  std::printf("  recovery latency: mean %.2f, max %.0f steps; makespan %d, "
+              "%d waves, goodput %.4f\n",
+              r.recovery_latency.mean(), r.recovery_latency.max(),
+              r.makespan, r.waves, r.goodput());
+
+  if (json) {
+    if (json_path.empty()) json_path = "SUMMARY_faults_replay.json";
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("experiment", "faults_replay");
+    w.key("params").begin_object();
+    w.field("schedule_file", file);
+    w.field("n", n);
+    w.field("events", schedule.size());
+    w.field("width", emb.width());
+    w.field("threshold", cfg.threshold);
+    w.field("timeout", cfg.timeout);
+    w.field("max_retries", cfg.max_retries);
+    w.end_object();
+    w.key("metrics").begin_object();
+    w.field("messages_total", r.messages_total);
+    w.field("messages_complete", r.messages_complete);
+    w.field("messages_recovered", r.messages_recovered);
+    w.field("delivery_rate", r.delivery_rate());
+    w.field("fragments_sent", r.fragments_sent);
+    w.field("fragments_delivered", r.fragments_delivered);
+    w.field("fragments_lost", r.fragments_lost);
+    w.field("fragments_exhausted", r.fragments_exhausted);
+    w.field("retransmissions", r.retransmissions);
+    w.field("makespan", r.makespan);
+    w.field("waves", r.waves);
+    w.field("goodput", r.goodput());
+    w.key("recovery_latency");
+    r.recovery_latency.write_json(w);
+    w.end_object();
+    w.end_object();
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::perror(json_path.c_str());
+      return 1;
+    }
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }
 
@@ -425,6 +554,9 @@ int main(int argc, char** argv) {
     if (cmd == "ccc" && argc >= 3) return cmd_ccc(std::atoi(argv[2]));
     if (cmd == "decomp" && argc >= 3) return cmd_decomp(std::atoi(argv[2]));
     if (cmd == "moments" && argc >= 3) return cmd_moments(std::atoi(argv[2]));
+    if (cmd == "faults" && argc >= 3 && !std::strcmp(argv[2], "replay")) {
+      return cmd_faults_replay(argc - 3, argv + 3);
+    }
     if (cmd == "faults" && argc >= 4) {
       return cmd_faults(std::atoi(argv[2]), std::atoi(argv[3]),
                         argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
