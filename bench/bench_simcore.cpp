@@ -1,0 +1,238 @@
+// Infrastructure benchmark: the flat-arena simulator core (simcore.hpp)
+// against the retained map-based reference implementation
+// (reference_sim.hpp).
+//
+// Not a paper experiment — this measures the simulator itself: steps/sec
+// and packet-hops/sec throughput of the store-and-forward core (serial and
+// parallel, traced and untraced) and the wormhole core, on Theorem-1-phase
+// workloads (the heaviest traffic the paper's tables run) and a bit-reversal
+// wormhole permutation.  Every simulation metric in the report is a
+// deterministic output (makespans, transmissions, active-set visits, trace
+// event counts) and is held to exact equality by the bench_compare CI gate;
+// wall-clock goes into the timings section only.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+
+#include "bench/table.hpp"
+#include "core/bitserial.hpp"
+#include "core/cycle_multipath.hpp"
+#include "core/grid_multipath.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/phase.hpp"
+#include "sim/reference_sim.hpp"
+#include "sim/store_forward.hpp"
+#include "sim/workloads.hpp"
+#include "sim/wormhole.hpp"
+
+namespace hyperpath {
+namespace {
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double mhops_per_sec(std::uint64_t hops, double seconds) {
+  return static_cast<double>(hops) / seconds / 1e6;
+}
+
+// Theorem-1 phase traffic on Q_n with p = n packets per guest edge.
+// theorem1_cycle_embedding's direct range needs ⌊n/4⌋ to be a power of two,
+// which excludes 12 and 14 — those use the Corollary-1 torus product
+// (64×64 and 128×128; every axis embedded by Theorem 1) instead.
+MultiPathEmbedding phase_embedding(int n) {
+  if (cycle_multipath_supported(n)) return theorem1_cycle_embedding(n);
+  const Node side = static_cast<Node>(1) << (n / 2);
+  return grid_multipath_embedding(GridSpec{{side, side}, true});
+}
+
+void print_store_forward_table(bench::Report& report) {
+  // The acceptance workload of the flat-arena PR: Theorem-1 phases with
+  // p = n packets per guest edge on Q_12..Q_16.  Q_12 and Q_14 are not in
+  // theorem1_cycle_embedding's direct range (⌊n/4⌋ must be a power of two),
+  // so they run the Corollary-1 torus product — every axis embedded by
+  // Theorem 1 — at 64×64 and 128×128; Q_16 is the direct Theorem-1 cycle.
+  // "speedup" is map-reference seconds / flat seconds for the serial
+  // simulator; the parallel column uses 4 shards.
+  bench::Table t("S1: store-and-forward core — map reference vs flat arena",
+                 {"n", "packets", "makespan", "Mhops", "ref ms", "flat ms",
+                  "speedup", "ref Mhops/s", "flat Mhops/s", "par4 ms"});
+  auto& reg = obs::MetricsRegistry::global();
+  for (int n : {12, 14, 16}) {
+    const auto emb = [&] {
+      obs::ScopedTimer timer("construct");
+      return phase_embedding(n);
+    }();
+    const auto packets = phase_packets(emb, n);
+    const refsim::RefStoreForwardSim ref(n);
+    const StoreForwardSim flat(n);
+    const ParallelStoreForwardSim par(n, 4);
+
+    SimResult rr, rf, rp;
+    obs::ScopedTimer timer("simulate");
+    const double s_ref = seconds_of([&] { rr = ref.run(packets); });
+    const double s_flat = seconds_of([&] { rf = flat.run(packets); });
+    const double s_par = seconds_of([&] { rp = par.run(packets); });
+    if (rr.makespan != rf.makespan || rr.makespan != rp.makespan ||
+        rr.total_transmissions != rf.total_transmissions) {
+      std::fprintf(stderr, "FATAL: core variants disagree on n=%d\n", n);
+      std::exit(1);
+    }
+    t.row(n, packets.size(), rf.makespan,
+          static_cast<double>(rf.total_transmissions) / 1e6, s_ref * 1e3,
+          s_flat * 1e3, s_ref / s_flat,
+          mhops_per_sec(rr.total_transmissions, s_ref),
+          mhops_per_sec(rf.total_transmissions, s_flat), s_par * 1e3);
+
+    const std::string sn = std::to_string(n);
+    reg.record_span("ref_serial_n" + sn, s_ref);
+    reg.record_span("flat_serial_n" + sn, s_flat);
+    reg.record_span("flat_parallel4_n" + sn, s_par);
+    report.metric("makespan_n" + sn, rf.makespan);
+    report.metric("hops_n" + sn, rf.total_transmissions);
+    report.metric("link_visits_n" + sn, rf.link_visits);
+    report.metric("max_queue_n" + sn, rf.max_queue);
+  }
+  t.print();
+  report.table(t);
+}
+
+void print_tracing_table(bench::Report& report) {
+  // Tracing overhead of the flat core: ring-buffer sink vs no sink, Q_12
+  // phase workload.
+  bench::Table t("S2: flat core tracing overhead",
+                 {"n", "packets", "plain ms", "traced ms", "overhead",
+                  "events"});
+  const int n = 12;
+  const auto emb = phase_embedding(n);
+  const auto packets = phase_packets(emb, n);
+  const StoreForwardSim flat(n);
+
+  SimResult rp, rt;
+  obs::RingBufferSink ring;
+  obs::ScopedTimer timer("simulate");
+  const double s_plain = seconds_of([&] { rp = flat.run(packets); });
+  const double s_traced = seconds_of(
+      [&] { rt = flat.run(packets, Arbitration::kFifo, 1 << 22, &ring); });
+  if (rp.makespan != rt.makespan) {
+    std::fprintf(stderr, "FATAL: tracing changed the simulation\n");
+    std::exit(1);
+  }
+  t.row(n, packets.size(), s_plain * 1e3, s_traced * 1e3, s_traced / s_plain,
+        ring.total());
+  t.print();
+  report.table(t);
+  auto& reg = obs::MetricsRegistry::global();
+  reg.record_span("flat_plain_n12", s_plain);
+  reg.record_span("flat_traced_n12", s_traced);
+  report.metric("trace_events_n12", ring.total());
+}
+
+void print_wormhole_table(bench::Report& report) {
+  // Wormhole core on the bit-reversal permutation (the classic hard
+  // pattern for dimension-ordered routes): map/set reference vs held-link
+  // bitmap + compacted worm worklists.
+  bench::Table t("S3: wormhole core — set reference vs bitmap worklists",
+                 {"n", "worms", "flits", "makespan", "ref ms", "flat ms",
+                  "speedup"});
+  auto& reg = obs::MetricsRegistry::global();
+  for (int n : {10, 12}) {
+    const auto pattern = bit_reversal_pattern(n);
+    const auto worms = ecube_worms(n, pattern, 32);
+    const refsim::RefWormholeSim ref(n);
+    const WormholeSim flat(n);
+
+    WormResult rr, rf;
+    obs::ScopedTimer timer("simulate");
+    const double s_ref = seconds_of([&] { rr = ref.run(worms); });
+    const double s_flat = seconds_of([&] { rf = flat.run(worms); });
+    if (rr.makespan != rf.makespan ||
+        rr.total_flit_hops != rf.total_flit_hops) {
+      std::fprintf(stderr, "FATAL: wormhole variants disagree on n=%d\n", n);
+      std::exit(1);
+    }
+    t.row(n, worms.size(), 32, rf.makespan, s_ref * 1e3, s_flat * 1e3,
+          s_ref / s_flat);
+    const std::string sn = std::to_string(n);
+    reg.record_span("ref_wormhole_n" + sn, s_ref);
+    reg.record_span("flat_wormhole_n" + sn, s_flat);
+    report.metric("worm_makespan_n" + sn, rf.makespan);
+    report.metric("worm_flit_hops_n" + sn, rf.total_flit_hops);
+  }
+  t.print();
+  report.table(t);
+}
+
+void BM_FlatSerialPhase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto emb = phase_embedding(n);
+  const auto packets = phase_packets(emb, n);
+  const StoreForwardSim sim(n);
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const auto r = sim.run(packets);
+    benchmark::DoNotOptimize(r.makespan);
+    hops += r.total_transmissions;
+  }
+  state.counters["hops/s"] = benchmark::Counter(
+      static_cast<double>(hops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlatSerialPhase)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_RefSerialPhase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto emb = phase_embedding(n);
+  const auto packets = phase_packets(emb, n);
+  const refsim::RefStoreForwardSim sim(n);
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const auto r = sim.run(packets);
+    benchmark::DoNotOptimize(r.makespan);
+    hops += r.total_transmissions;
+  }
+  state.counters["hops/s"] = benchmark::Counter(
+      static_cast<double>(hops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RefSerialPhase)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_FlatParallelPhase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const auto emb = phase_embedding(n);
+  const auto packets = phase_packets(emb, n);
+  const ParallelStoreForwardSim sim(n, threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(packets).makespan);
+  }
+}
+BENCHMARK(BM_FlatParallelPhase)
+    ->Args({14, 2})
+    ->Args({14, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FlatWormhole(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto worms = ecube_worms(n, bit_reversal_pattern(n), 32);
+  const WormholeSim sim(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(worms).makespan);
+  }
+}
+BENCHMARK(BM_FlatWormhole)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hyperpath
+
+int main(int argc, char** argv) {
+  hyperpath::bench::Report report("simcore", &argc, argv);
+  hyperpath::print_store_forward_table(report);
+  hyperpath::print_tracing_table(report);
+  hyperpath::print_wormhole_table(report);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

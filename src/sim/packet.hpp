@@ -66,6 +66,16 @@ struct SimResult {
   /// buckets 1, 2, 4, ...; trivial (single-node) routes are not counted.
   obs::FixedHistogram latency;
 
+  /// Active-set accounting of the flat-arena core (simcore.hpp): how many
+  /// worklist entries the per-step sweeps examined over the whole run,
+  /// stale entries included.  Deterministic for a fixed workload and equal
+  /// between the serial and parallel simulators (the shards partition the
+  /// same worklist).  With the active set working, this is Σ_steps
+  /// (currently nonempty links), NOT makespan × (links ever used) — the
+  /// regression tests pin that down.  The retained map-based reference
+  /// simulator leaves it 0.
+  std::uint64_t link_visits = 0;
+
   double average_utilization() const { return utilization.average(); }
 };
 

@@ -1,20 +1,17 @@
 #include "sim/parallel_sim.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <mutex>
-#include <thread>
-#include <unordered_map>
-#include <vector>
-
 #include <optional>
+#include <thread>
+#include <vector>
 
 #include "base/error.hpp"
 #include "obs/profile.hpp"
 #include "sim/faults.hpp"
+#include "sim/simcore.hpp"
 
 namespace hyperpath {
 
@@ -131,27 +128,39 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
 
   const int dims = host_.dims();
   const int shards = threads_;
+
+  // One flat arena shared by every shard: a link's queue state lives at its
+  // dense link id and is touched only by the shard that owns the link
+  // (link mod shards), so workers never contend.  Each shard keeps its own
+  // active worklist; arrivals and releases run on the main thread between
+  // rounds and append to the owning shard's list, which preserves exactly
+  // the serial simulator's per-link FIFO order.
+  const std::uint64_t num_links = host_.num_directed_edges();
+  simcore::LinkFifoArena arena(num_links, packets.size());
+
+  obs::StepTrace trace(sink);
+  const bool tracing = trace.enabled();
+  // Per-link high-water marks, dense and shared: every link belongs to
+  // exactly one shard, so the marks match the serial simulator's exactly.
+  std::vector<std::uint64_t> highwater;
+  if (tracing) highwater.assign(num_links, 0);
+
   struct Shard {
-    std::unordered_map<std::uint64_t, std::deque<std::uint32_t>> queues;
-    std::vector<std::uint32_t> moved;  // per-step output
+    std::vector<std::uint64_t> active;  // links this shard owns, nonempty
+    std::vector<std::uint32_t> moved;   // per-step output
     std::uint64_t busy = 0;
+    std::uint64_t link_visits = 0;
     // Whole-run accumulators, merged once after the loop.
     std::size_t max_queue = 0;
     std::vector<std::uint64_t> dim_tx;
-    // Tracing state: shard-local event buffer (per step) and per-link
-    // high-water marks.  Every link lives in exactly one shard, so the
-    // marks match the serial simulator's exactly.
+    // Tracing state: shard-local event buffer (per step).
     std::vector<TraceEvent> events;
-    std::unordered_map<std::uint64_t, std::size_t> highwater;
   };
   std::vector<Shard> shard(shards);
   for (Shard& sh : shard) sh.dim_tx.assign(dims, 0);
   const auto shard_of = [&](std::uint64_t link) {
     return static_cast<int>(link % static_cast<std::uint64_t>(shards));
   };
-
-  obs::StepTrace trace(sink);
-  const bool tracing = trace.enabled();
 
   std::vector<std::uint32_t> hop(packets.size(), 0);
   std::size_t undelivered = 0;
@@ -167,7 +176,7 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
     const Packet& p = packets[id];
     const std::uint64_t link =
         host_.edge_id(p.route[hop[id]], p.route[hop[id] + 1]);
-    shard[shard_of(link)].queues[link].push_back(id);
+    arena.push_back(link, id, shard[shard_of(link)].active);
     return link;
   };
 
@@ -194,10 +203,11 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
   SimResult result;
   result.dim_transmissions.assign(dims, 0);
   result.latency = obs::FixedHistogram::exponential();
-  const double total_links = static_cast<double>(host_.num_directed_edges());
+  const double total_links = static_cast<double>(num_links);
   WorkerPool pool(shards);
 
   int step = 0;
+  std::vector<std::uint32_t> moved;  // merged arrivals, reused across steps
   {
   HP_PROFILE_SPAN("steps");
   while (undelivered > 0) {
@@ -229,13 +239,12 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
     }
 
     // Truncation at dead links, main thread, sorted dead-link order —
-    // byte-identical drop stream to the serial simulator.
+    // byte-identical drop stream to the serial simulator.  Stale worklist
+    // entries left by clear_link are compacted by this step's shard sweeps.
     if (timeline && !timeline->dead_links().empty()) {
       for (const auto& [link, kills] : timeline->dead_links()) {
-        auto& qs = shard[shard_of(link)].queues;
-        auto it = qs.find(link);
-        if (it == qs.end() || it->second.empty()) continue;
-        for (std::uint32_t id : it->second) {
+        if (arena.empty(link)) continue;
+        arena.for_each(link, [&](std::uint32_t id) {
           --undelivered;
           if (fault_out != nullptr) {
             fault_out->fates[id] = {PacketFate::Kind::kLost, step, link,
@@ -244,32 +253,35 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
           if (tracing) {
             trace.record({step, TraceEventKind::kDrop, id, link, hop[id]});
           }
-        }
-        it->second.clear();
+        });
+        arena.clear_link(link);
       }
     }
 
-    // Parallel arbitration: each shard pops one packet per nonempty queue
-    // and records its queue statistics (and trace events) shard-locally.
+    // Parallel arbitration: each shard sweeps its own active worklist,
+    // pops one packet per live link and records its queue statistics (and
+    // trace events) shard-locally.
     pool.run_round([&](int s) {
       Shard& sh = shard[s];
       sh.moved.clear();
       sh.busy = 0;
       sh.events.clear();
-      for (auto& [link, q] : sh.queues) {
-        if (q.empty()) continue;
-        const std::size_t depth = q.size();
+      std::size_t keep = 0;
+      for (std::size_t r = 0; r < sh.active.size(); ++r) {
+        const std::uint64_t link = sh.active[r];
+        ++sh.link_visits;
+        if (arena.empty(link)) continue;  // stale: emptied by the drop pass
+        const std::size_t depth = arena.depth(link);
         sh.max_queue = std::max(sh.max_queue, depth);
         if (tracing) {
-          std::size_t& high = sh.highwater[link];
+          std::uint64_t& high = highwater[link];
           if (depth > high) {
             high = depth;
             sh.events.push_back({step, TraceEventKind::kQueueDepth,
                                  TraceEvent::kNoPacket, link, depth});
           }
         }
-        const std::uint32_t pick = q.front();
-        q.pop_front();
+        const std::uint32_t pick = arena.pop_front(link);
         ++sh.busy;
         ++sh.dim_tx[link % dims];
         if (tracing) {
@@ -281,14 +293,16 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
           }
         }
         sh.moved.push_back(pick);
+        if (!arena.empty(link)) sh.active[keep++] = link;
       }
+      sh.active.resize(keep);
     });
 
     // Serial merge in canonical (packet-id) order — identical semantics to
     // StoreForwardSim's sorted arrival pass.  Shard trace buffers are
     // merged here too; StepTrace's canonical sort at end_step() makes the
     // emitted stream independent of the sharding.
-    std::vector<std::uint32_t> moved;
+    moved.clear();
     std::uint64_t busy = 0;
     for (const Shard& sh : shard) {
       moved.insert(moved.end(), sh.moved.begin(), sh.moved.end());
@@ -331,6 +345,7 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
   result.makespan = step;
   for (const Shard& sh : shard) {
     result.max_queue = std::max(result.max_queue, sh.max_queue);
+    result.link_visits += sh.link_visits;
     for (int d = 0; d < dims; ++d) {
       result.dim_transmissions[d] += sh.dim_tx[d];
     }

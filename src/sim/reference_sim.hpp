@@ -1,0 +1,65 @@
+// Retained map-based reference simulators.
+//
+// These are the pre-flat-arena implementations of StoreForwardSim and
+// WormholeSim, kept verbatim (hash-map per-link queues, full-map per-step
+// scans, unordered_set held-links) as the semantic oracle for the flat-arena
+// core in simcore.hpp:
+//
+//   * tests/property/simcore_equiv_test.cpp asserts the production
+//     simulators produce bit-identical results AND trace streams to these
+//     references under randomized workloads, both arbitration policies,
+//     fault schedules and staggered releases;
+//   * bench_simcore measures the production cores' throughput against them
+//     (the EXPERIMENTS.md before/after table).
+//
+// Do not "optimize" this file — its value is being the slow, obviously
+// faithful model.  New simulator features land in the production cores
+// first and are mirrored here only when the equivalence tests need them.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "sim/packet.hpp"
+#include "sim/store_forward.hpp"
+#include "sim/wormhole.hpp"
+
+namespace hyperpath::refsim {
+
+/// The map-based store-and-forward simulator (old StoreForwardSim).
+class RefStoreForwardSim {
+ public:
+  explicit RefStoreForwardSim(int dims);
+
+  SimResult run(const std::vector<Packet>& packets,
+                Arbitration policy = Arbitration::kFifo,
+                int max_steps = 1 << 22,
+                obs::TraceSink* sink = nullptr) const;
+
+  FaultRunResult run_with_faults(const std::vector<Packet>& packets,
+                                 const FaultSchedule& schedule,
+                                 Arbitration policy = Arbitration::kFifo,
+                                 int max_steps = 1 << 22,
+                                 obs::TraceSink* sink = nullptr,
+                                 bool announce_faults = true) const;
+
+ private:
+  SimResult run_impl(const std::vector<Packet>& packets, Arbitration policy,
+                     int max_steps, obs::TraceSink* sink,
+                     const FaultSchedule* schedule, bool announce_faults,
+                     FaultRunResult* fault_out) const;
+
+  Hypercube host_;
+};
+
+/// The scan-all-worms wormhole simulator (old WormholeSim).
+class RefWormholeSim {
+ public:
+  explicit RefWormholeSim(int dims);
+
+  WormResult run(const std::vector<Worm>& worms, int max_steps = 1 << 22,
+                 obs::TraceSink* sink = nullptr) const;
+
+ private:
+  Hypercube host_;
+};
+
+}  // namespace hyperpath::refsim

@@ -1,0 +1,11 @@
+#include "sim/simcore.hpp"
+
+namespace hyperpath::simcore {
+
+LinkFifoArena::LinkFifoArena(std::uint64_t num_links, std::size_t num_packets)
+    : head_(num_links, kNil),
+      tail_(num_links, kNil),
+      depth_(num_links, 0),
+      next_(num_packets, kNil) {}
+
+}  // namespace hyperpath::simcore

@@ -1,0 +1,157 @@
+// Flat-arena simulator core shared by the store-and-forward, parallel and
+// wormhole simulators.
+//
+// The hypercube's directed links already have a dense id (tail * n + dim,
+// see Hypercube::edge_id), so per-link simulator state needs no hashing:
+// everything is a flat array indexed by link id.
+//
+//   * LinkFifoArena — intrusive per-link packet FIFOs.  A packet waits in at
+//     most one queue at a time, so a single `next[packet]` array plus dense
+//     `head[link]` / `tail[link]` / `depth[link]` arrays hold every queue of
+//     the run with zero per-enqueue allocation (the map-of-deques layout
+//     this replaces paid a hash probe plus deque node churn per enqueue).
+//
+//   * Active-set scheduling — a step visits only links that currently hold
+//     packets.  Enqueueing into an empty queue appends the link to a caller
+//     owned worklist; the sweep compacts the worklist in place, dropping
+//     links whose queue drained.  Per-step cost is O(live links), not
+//     O(links that ever carried traffic): the old map was never erased, so
+//     its full scan grew monotonically over the run.
+//
+//   * LinkBitmap — one bit per directed link; the wormhole simulator's
+//     held-route set (replacing an unordered_set of link ids).
+//
+// Memory: the arena is O(n·2^n) words per run (three 32-bit words per link,
+// one per packet) — ~12 MiB for Q_16, allocated once per run() and reused
+// across every step.  The simulators' dims stay well inside that regime.
+//
+// Determinism: the arena itself is strictly FIFO-ordered and the worklist
+// preserves insertion order, so a sweep visits links in a deterministic
+// order for a fixed workload.  Nothing order-dependent escapes anyway —
+// per-step trace events are canonically sorted by obs::StepTrace and the
+// simulators sort arrivals by packet id — which is what keeps the flat core
+// bit-identical to the retained map-based reference implementation
+// (reference_sim.hpp; tests/property/simcore_equiv_test.cpp enforces it).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hyperpath::simcore {
+
+/// Sentinel for "no packet" in intrusive links and head/tail slots.
+inline constexpr std::uint32_t kNil = 0xffffffffu;
+
+/// Intrusive per-link packet FIFOs in one flat arena, indexed by the dense
+/// directed-link id.  Packet ids must be < num_packets; each packet may sit
+/// in at most one queue at a time (true of every store-and-forward model
+/// here: a packet waits on exactly its next link).
+class LinkFifoArena {
+ public:
+  LinkFifoArena(std::uint64_t num_links, std::size_t num_packets);
+
+  bool empty(std::uint64_t link) const { return head_[link] == kNil; }
+  std::uint32_t depth(std::uint64_t link) const { return depth_[link]; }
+
+  /// Appends packet `id` to `link`'s queue.  When the queue was empty the
+  /// link is pushed onto `worklist` — the caller-owned active set (the
+  /// parallel simulator passes its shard's list).  The caller must keep the
+  /// invariant that an empty link is never already on a live worklist; the
+  /// simulators get this for free because stale entries (queues emptied by
+  /// the fault-truncation pass) are compacted away by the same step's sweep,
+  /// before any enqueue runs.
+  void push_back(std::uint64_t link, std::uint32_t id,
+                 std::vector<std::uint64_t>& worklist) {
+    next_[id] = kNil;
+    if (head_[link] == kNil) {
+      head_[link] = id;
+      worklist.push_back(link);
+    } else {
+      next_[tail_[link]] = id;
+    }
+    tail_[link] = id;
+    ++depth_[link];
+  }
+
+  /// Removes and returns the oldest waiting packet.  Requires !empty(link).
+  std::uint32_t pop_front(std::uint64_t link) {
+    const std::uint32_t id = head_[link];
+    head_[link] = next_[id];
+    if (head_[link] == kNil) tail_[link] = kNil;
+    --depth_[link];
+    return id;
+  }
+
+  /// Removes and returns the waiting packet maximizing key(id); ties go to
+  /// the earliest-queued packet (the farthest-first arbitration rule).
+  /// O(depth).  Requires !empty(link).
+  template <typename Key>
+  std::uint32_t pop_max(std::uint64_t link, Key&& key) {
+    std::uint32_t best = head_[link];
+    std::uint32_t best_prev = kNil;
+    auto best_key = key(best);
+    for (std::uint32_t prev = best, it = next_[best]; it != kNil;
+         prev = it, it = next_[it]) {
+      const auto k = key(it);
+      if (k > best_key) {
+        best = it;
+        best_prev = prev;
+        best_key = k;
+      }
+    }
+    if (best_prev == kNil) {
+      head_[link] = next_[best];
+    } else {
+      next_[best_prev] = next_[best];
+    }
+    if (tail_[link] == best) tail_[link] = best_prev;
+    --depth_[link];
+    return best;
+  }
+
+  /// Visits the queue front-to-back (the canonical drop order of the
+  /// fault-truncation pass).
+  template <typename Fn>
+  void for_each(std::uint64_t link, Fn&& fn) const {
+    for (std::uint32_t it = head_[link]; it != kNil; it = next_[it]) {
+      fn(it);
+    }
+  }
+
+  /// Empties `link`'s queue in O(1).  Any worklist entry for the link goes
+  /// stale and is dropped by the next sweep's compaction.
+  void clear_link(std::uint64_t link) {
+    head_[link] = kNil;
+    tail_[link] = kNil;
+    depth_[link] = 0;
+  }
+
+  std::uint64_t num_links() const { return static_cast<std::uint64_t>(head_.size()); }
+
+ private:
+  std::vector<std::uint32_t> head_;   // per link; kNil = empty
+  std::vector<std::uint32_t> tail_;   // per link; kNil = empty
+  std::vector<std::uint32_t> depth_;  // per link
+  std::vector<std::uint32_t> next_;   // per packet; intrusive successor
+};
+
+/// One bit per directed link (the wormhole simulator's held-route set).
+class LinkBitmap {
+ public:
+  explicit LinkBitmap(std::uint64_t num_links)
+      : words_((num_links + 63) / 64, 0) {}
+
+  bool test(std::uint64_t link) const {
+    return (words_[link >> 6] >> (link & 63)) & 1u;
+  }
+  void set(std::uint64_t link) { words_[link >> 6] |= std::uint64_t{1} << (link & 63); }
+  void clear(std::uint64_t link) {
+    words_[link >> 6] &= ~(std::uint64_t{1} << (link & 63));
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hyperpath::simcore

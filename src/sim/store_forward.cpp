@@ -1,13 +1,12 @@
 #include "sim/store_forward.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <optional>
-#include <unordered_map>
 
 #include "base/error.hpp"
 #include "obs/profile.hpp"
 #include "sim/faults.hpp"
+#include "sim/simcore.hpp"
 
 namespace hyperpath {
 
@@ -50,18 +49,17 @@ SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
     }
   }
 
-  // Per-link waiting lists, keyed by directed link id.  Sparse map: only
-  // links that ever carry traffic get a queue.
-  struct Waiting {
-    std::deque<std::uint32_t> q;  // packet indices, FIFO arrival order
-  };
-  std::unordered_map<std::uint64_t, Waiting> queues;
-  queues.reserve(packets.size());
+  // Flat-arena per-link FIFOs, indexed by the dense directed-link id, plus
+  // the active worklist of links that currently hold packets (simcore.hpp).
+  const std::uint64_t num_links = host_.num_directed_edges();
+  simcore::LinkFifoArena arena(num_links, packets.size());
+  std::vector<std::uint64_t> active;
 
   obs::StepTrace trace(sink);
-  // Per-link high-water marks, tracked only when tracing (the global
-  // max_queue needs no per-link state).
-  std::unordered_map<std::uint64_t, std::size_t> highwater;
+  // Per-link high-water marks, dense, allocated only when tracing (the
+  // global max_queue needs no per-link state).
+  std::vector<std::uint64_t> highwater;
+  if (trace.enabled()) highwater.assign(num_links, 0);
 
   std::vector<std::uint32_t> hop(packets.size(), 0);  // next edge index
   std::size_t undelivered = 0;
@@ -78,7 +76,7 @@ SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
     const Packet& p = packets[id];
     const std::uint64_t link = host_.edge_id(p.route[hop[id]],
                                              p.route[hop[id] + 1]);
-    queues[link].q.push_back(id);
+    arena.push_back(link, id, active);
     return link;
   };
 
@@ -105,11 +103,12 @@ SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
   SimResult result;
   result.dim_transmissions.assign(host_.dims(), 0);
   result.latency = obs::FixedHistogram::exponential();
-  const double total_links = static_cast<double>(host_.num_directed_edges());
+  const double total_links = static_cast<double>(num_links);
   const int dims = host_.dims();
 
   int step = 0;
   std::size_t max_queue = 0;
+  std::vector<std::uint32_t> moved;  // per-step scratch, reused across steps
   {
   HP_PROFILE_SPAN("steps");
   while (undelivered > 0) {
@@ -141,12 +140,13 @@ SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
 
     // Truncation: every packet waiting on a currently-dead link is lost at
     // the break point.  Iterates the timeline's sorted dead-link map so the
-    // emitted kDrop order is canonical.
+    // emitted kDrop order is canonical.  clear_link leaves the emptied
+    // link's worklist entry stale; this step's sweep compacts it away
+    // before any further enqueue can run.
     if (timeline && !timeline->dead_links().empty()) {
       for (const auto& [link, kills] : timeline->dead_links()) {
-        auto it = queues.find(link);
-        if (it == queues.end() || it->second.q.empty()) continue;
-        for (std::uint32_t id : it->second.q) {
+        if (arena.empty(link)) continue;
+        arena.for_each(link, [&](std::uint32_t id) {
           --undelivered;
           if (fault_out != nullptr) {
             fault_out->fates[id] = {PacketFate::Kind::kLost, step, link,
@@ -155,21 +155,24 @@ SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
           if (trace.enabled()) {
             trace.record({step, TraceEventKind::kDrop, id, link, hop[id]});
           }
-        }
-        it->second.q.clear();
+        });
+        arena.clear_link(link);
       }
     }
 
-    // One transmission per nonempty link queue.
+    // One transmission per active link; the worklist is compacted in place,
+    // carrying only links whose queue is still nonempty into the next step.
     std::uint64_t busy = 0;
-    std::vector<std::uint32_t> moved;
-    moved.reserve(queues.size());
-    for (auto& [link, w] : queues) {
-      if (w.q.empty()) continue;
-      const std::size_t depth = w.q.size();
+    moved.clear();
+    std::size_t keep = 0;
+    for (std::size_t r = 0; r < active.size(); ++r) {
+      const std::uint64_t link = active[r];
+      ++result.link_visits;
+      if (arena.empty(link)) continue;  // stale: emptied by the drop pass
+      const std::size_t depth = arena.depth(link);
       max_queue = std::max(max_queue, depth);
       if (trace.enabled()) {
-        std::size_t& high = highwater[link];
+        std::uint64_t& high = highwater[link];
         if (depth > high) {
           high = depth;
           trace.record({step, TraceEventKind::kQueueDepth,
@@ -178,22 +181,12 @@ SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
       }
       std::uint32_t pick;
       if (policy == Arbitration::kFifo) {
-        pick = w.q.front();
-        w.q.pop_front();
+        pick = arena.pop_front(link);
       } else {
         // Farthest remaining distance first; ties broken by queue order.
-        auto best = w.q.begin();
-        std::size_t best_left =
-            packets[*best].route.size() - 1 - hop[*best];
-        for (auto it = std::next(w.q.begin()); it != w.q.end(); ++it) {
-          const std::size_t left = packets[*it].route.size() - 1 - hop[*it];
-          if (left > best_left) {
-            best = it;
-            best_left = left;
-          }
-        }
-        pick = *best;
-        w.q.erase(best);
+        pick = arena.pop_max(link, [&](std::uint32_t id) {
+          return packets[id].route.size() - 1 - hop[id];
+        });
       }
       ++busy;
       ++result.total_transmissions;
@@ -206,15 +199,17 @@ SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
         }
       }
       moved.push_back(pick);
+      if (!arena.empty(link)) active[keep++] = link;
     }
+    active.resize(keep);
 
     // Arrivals: advance hops; re-enqueue or deliver.  (Done after all links
     // transmitted so a packet moves at most one hop per step.)  Same-step
     // arrivals at one link are enqueued in increasing packet id — the
-    // canonical order that makes results reproducible across standard
-    // libraries and lets the parallel simulator match bit for bit.  A
-    // packet whose next link just died still enqueues here; the truncation
-    // pass of the next step drops it at that node.
+    // canonical order that makes results reproducible and lets the parallel
+    // simulator match bit for bit.  A packet whose next link just died
+    // still enqueues here; the truncation pass of the next step drops it at
+    // that node.
     std::sort(moved.begin(), moved.end());
     for (std::uint32_t id : moved) {
       ++hop[id];

@@ -1,9 +1,8 @@
 #include "sim/wormhole.hpp"
 
-#include <unordered_set>
-
 #include "base/error.hpp"
 #include "obs/profile.hpp"
+#include "sim/simcore.hpp"
 
 namespace hyperpath {
 
@@ -19,14 +18,16 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
   result.completion.assign(worms.size(), 0);
   obs::StepTrace trace(sink);
 
-  std::unordered_set<std::uint64_t> held;  // link ids currently in use
-
-  struct State {
-    bool started = false;
-    bool done = false;
-    int completion = 0;
-  };
-  std::vector<State> st(worms.size());
+  // Held links as one bit per dense directed-link id, and the worm set as
+  // two compacted worklists: `pending` (not yet started, ascending id — the
+  // deterministic acquisition priority) and `inflight` (started, awaiting
+  // completion).  A step touches only live worms; the old implementation
+  // rescanned every worm — completed ones included — against an
+  // unordered_set of held links.
+  simcore::LinkBitmap held(host_.num_directed_edges());
+  std::vector<std::uint32_t> pending;
+  std::vector<std::uint32_t> inflight;
+  std::vector<int> completion_at(worms.size(), 0);
 
   std::size_t active = 0;
   {
@@ -36,10 +37,9 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
       HP_CHECK(w.flits >= 1, "worm needs at least one flit");
       HP_CHECK(w.release >= 0, "negative release time");
     }
-    for (std::size_t i = 0; i < worms.size(); ++i) {
-      if (worms[i].route.size() <= 1) {
-        st[i].done = true;  // already at destination; no link work
-      } else {
+    for (std::uint32_t i = 0; i < worms.size(); ++i) {
+      if (worms[i].route.size() > 1) {
+        pending.push_back(i);  // trivial routes need no link work
         ++active;
       }
     }
@@ -56,16 +56,21 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
     // *entire* route is free (this is what makes the model deadlock-free —
     // there is no hold-and-wait).  An unblocked L-link worm with M flits
     // started at step t completes at t + L + M − 2: the header crosses one
-    // link per step and the body streams pipelined behind it.
-    for (std::uint32_t i = 0; i < worms.size(); ++i) {
-      State& s = st[i];
+    // link per step and the body streams pipelined behind it.  The pending
+    // list is compacted stably, so it stays in ascending id order.
+    std::size_t keep = 0;
+    for (std::size_t r = 0; r < pending.size(); ++r) {
+      const std::uint32_t i = pending[r];
       const Worm& w = worms[i];
-      if (s.done || s.started || w.release >= step) continue;
+      if (w.release >= step) {
+        pending[keep++] = i;
+        continue;
+      }
       bool free = true;
       std::uint64_t blocked_on = TraceEvent::kNoLink;
       for (std::size_t h = 0; free && h + 1 < w.route.size(); ++h) {
         const std::uint64_t link = host_.edge_id(w.route[h], w.route[h + 1]);
-        if (held.contains(link)) {
+        if (held.test(link)) {
           free = false;
           blocked_on = link;
         }
@@ -74,19 +79,20 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
         if (trace.enabled()) {
           trace.record({step, TraceEventKind::kStall, i, blocked_on, 0});
         }
+        pending[keep++] = i;
         continue;
       }
       const int links = static_cast<int>(w.route.size()) - 1;
       for (std::size_t h = 0; h + 1 < w.route.size(); ++h) {
         const std::uint64_t link = host_.edge_id(w.route[h], w.route[h + 1]);
-        held.insert(link);
+        held.set(link);
         if (trace.enabled()) {
           trace.record({step, TraceEventKind::kTransmit, i, link,
                         static_cast<std::uint64_t>(w.flits)});
         }
       }
-      s.started = true;
-      s.completion = step + links + w.flits - 2;
+      completion_at[i] = step + links + w.flits - 2;
+      inflight.push_back(i);
       if (trace.enabled()) {
         trace.record({step, TraceEventKind::kWormStart, i,
                       TraceEvent::kNoLink,
@@ -95,12 +101,20 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
       result.total_flit_hops +=
           static_cast<std::uint64_t>(w.flits) * static_cast<std::uint64_t>(links);
     }
+    pending.resize(keep);
 
-    // Completions release all links at the end of their final step.
-    for (std::uint32_t i = 0; i < worms.size(); ++i) {
-      State& s = st[i];
-      if (s.done || !s.started || s.completion != step) continue;
-      s.done = true;
+    // Completions release all links at the end of their final step (a worm
+    // started this step with a one-link, one-flit route completes
+    // immediately — the inflight scan runs after the start pass so it is
+    // seen).  Order within the pass is immaterial: trace events are
+    // canonically sorted at end_step and all other writes are indexed.
+    std::size_t live = 0;
+    for (std::size_t r = 0; r < inflight.size(); ++r) {
+      const std::uint32_t i = inflight[r];
+      if (completion_at[i] != step) {
+        inflight[live++] = i;
+        continue;
+      }
       result.completion[i] = step;
       if (trace.enabled()) {
         trace.record({step, TraceEventKind::kWormDone, i,
@@ -108,10 +122,11 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
                       static_cast<std::uint64_t>(step - worms[i].release)});
       }
       for (std::size_t h = 0; h + 1 < worms[i].route.size(); ++h) {
-        held.erase(host_.edge_id(worms[i].route[h], worms[i].route[h + 1]));
+        held.clear(host_.edge_id(worms[i].route[h], worms[i].route[h + 1]));
       }
       --active;
     }
+    inflight.resize(live);
     trace.end_step();
   }
   }

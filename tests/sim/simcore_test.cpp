@@ -1,0 +1,179 @@
+// Unit tests for the flat-arena core (simcore.hpp) plus the active-set
+// regression guarantees: per-step sweep cost must track *currently* live
+// links, never the set of links that ever carried traffic (the map-based
+// layout this replaced re-scanned every historical queue each step).
+#include "sim/simcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/faults.hpp"
+#include "sim/store_forward.hpp"
+#include "sim/workloads.hpp"
+
+namespace hyperpath {
+namespace {
+
+using simcore::kNil;
+using simcore::LinkBitmap;
+using simcore::LinkFifoArena;
+
+TEST(LinkFifoArena, FifoOrderAndWorklistRegistration) {
+  LinkFifoArena arena(8, 16);
+  std::vector<std::uint64_t> work;
+  EXPECT_TRUE(arena.empty(3));
+
+  arena.push_back(3, 10, work);
+  arena.push_back(3, 11, work);
+  arena.push_back(5, 12, work);
+  arena.push_back(3, 13, work);
+  // Only empty->nonempty transitions register the link.
+  EXPECT_EQ(work, (std::vector<std::uint64_t>{3, 5}));
+  EXPECT_EQ(arena.depth(3), 3u);
+  EXPECT_EQ(arena.depth(5), 1u);
+
+  std::vector<std::uint32_t> order;
+  arena.for_each(3, [&](std::uint32_t id) { order.push_back(id); });
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{10, 11, 13}));
+
+  EXPECT_EQ(arena.pop_front(3), 10u);
+  EXPECT_EQ(arena.pop_front(3), 11u);
+  EXPECT_EQ(arena.pop_front(3), 13u);
+  EXPECT_TRUE(arena.empty(3));
+  // Refilling an emptied link registers it again.
+  arena.push_back(3, 14, work);
+  EXPECT_EQ(work.back(), 3u);
+}
+
+TEST(LinkFifoArena, PopMaxPrefersEarliestOnTies) {
+  LinkFifoArena arena(4, 8);
+  std::vector<std::uint64_t> work;
+  // keys: id 0 -> 2, id 1 -> 5, id 2 -> 5, id 3 -> 1
+  const std::vector<int> key = {2, 5, 5, 1};
+  for (std::uint32_t id = 0; id < 4; ++id) arena.push_back(1, id, work);
+  const auto by_key = [&](std::uint32_t id) { return key[id]; };
+  EXPECT_EQ(arena.pop_max(1, by_key), 1u);  // first of the two maxima
+  EXPECT_EQ(arena.pop_max(1, by_key), 2u);
+  EXPECT_EQ(arena.pop_max(1, by_key), 0u);
+  EXPECT_EQ(arena.pop_max(1, by_key), 3u);
+  EXPECT_TRUE(arena.empty(1));
+  // Head/tail links survive arbitrary middle/end removals.
+  arena.push_back(1, 5, work);
+  arena.push_back(1, 6, work);
+  EXPECT_EQ(arena.pop_max(1, [](std::uint32_t) { return 0; }), 5u);
+  EXPECT_EQ(arena.pop_front(1), 6u);
+  EXPECT_TRUE(arena.empty(1));
+}
+
+TEST(LinkFifoArena, ClearLinkEmptiesInConstantTime) {
+  LinkFifoArena arena(4, 8);
+  std::vector<std::uint64_t> work;
+  for (std::uint32_t id = 0; id < 5; ++id) arena.push_back(2, id, work);
+  arena.clear_link(2);
+  EXPECT_TRUE(arena.empty(2));
+  EXPECT_EQ(arena.depth(2), 0u);
+  // The stale worklist entry is the caller's to compact; refilling must
+  // re-link a clean queue.
+  arena.push_back(2, 7, work);
+  EXPECT_EQ(arena.depth(2), 1u);
+  EXPECT_EQ(arena.pop_front(2), 7u);
+}
+
+TEST(LinkBitmap, SetTestClear) {
+  LinkBitmap bits(130);
+  EXPECT_FALSE(bits.test(0));
+  EXPECT_FALSE(bits.test(129));
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_FALSE(bits.test(65));
+  bits.clear(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_TRUE(bits.test(63));
+}
+
+/// A valid hypercube walk of `hops` edges that just zig-zags across
+/// dimensions 0 and 1 — long routes without long geodesics.
+HostPath zigzag_walk(Node start, int hops) {
+  HostPath p{start};
+  for (int h = 0; h < hops; ++h) {
+    p.push_back(p.back() ^ (h % 2 == 0 ? 1u : 2u));
+  }
+  return p;
+}
+
+TEST(ActiveSetRegression, StepCostIgnoresHistoricallyActiveLinks) {
+  // Phase A: a one-step burst that touches `burst` distinct links.  Phase
+  // B: a single packet walking a long route through an otherwise idle
+  // network.  The worklist accounting must come out at burst + ~1 visit per
+  // tail step; the replaced map layout re-scanned all `burst` historical
+  // queues every tail step (burst * walk_hops total).
+  const int dims = 11;
+  const Hypercube q(dims);
+  const int burst = 2000;
+  const int walk_hops = 400;
+
+  std::vector<Packet> packets;
+  for (int i = 0; i < burst; ++i) {
+    // Distinct source nodes, one-hop routes: `burst` distinct links, all
+    // busy exactly at step 0.
+    const Node s = static_cast<Node>(i);
+    packets.push_back({{s, q.neighbor(s, 0)}, 0, 0});
+  }
+  Packet walker;
+  walker.route = zigzag_walk(0, walk_hops);
+  walker.release = 2;  // enters after the burst has fully drained
+  packets.push_back(walker);
+
+  const auto r = StoreForwardSim(dims).run(packets);
+  EXPECT_EQ(r.makespan, 2 + walk_hops);
+  // Without faults there are no stale entries, so link_visits is exactly
+  // sigma_steps(live links): burst links at step 0, the walker's current
+  // link afterwards (plus one overlap-free slack bound).
+  EXPECT_EQ(r.link_visits,
+            static_cast<std::uint64_t>(burst) +
+                static_cast<std::uint64_t>(walk_hops));
+  // The historical-scaling failure mode would be ~burst * walk_hops.
+  EXPECT_LT(r.link_visits,
+            static_cast<std::uint64_t>(burst) * walk_hops / 100);
+}
+
+TEST(ActiveSetRegression, DroppedQueuesLeaveNoLingeringCost) {
+  // Packets pile onto one link, a fault kills it, and a lone walker then
+  // runs long past the drop.  The dead link's queue is emptied once; the
+  // tail steps must cost one visit each, not re-visit the corpse.
+  const int dims = 10;
+  const Hypercube q(dims);
+  const int pile = 500;
+  const int walk_hops = 300;
+
+  std::vector<Packet> packets;
+  for (int i = 0; i < pile; ++i) {
+    // All share the first hop 0 -> 1 (dimension 0), queueing on one link.
+    packets.push_back({{0, q.neighbor(0, 0), q.neighbor(q.neighbor(0, 0), 1)},
+                       0, 0});
+  }
+  Packet walker;
+  walker.route = zigzag_walk(static_cast<Node>(q.num_nodes() - 4), walk_hops);
+  walker.release = 3;
+  packets.push_back(walker);
+
+  FaultSchedule sched(dims);
+  sched.link_down(2, 0, q.neighbor(0, 0));
+
+  const auto r = StoreForwardSim(dims).run_with_faults(packets, sched);
+  EXPECT_EQ(r.lost, static_cast<std::size_t>(pile) - 2);  // 2 escaped first
+  // Visits: the pile link for steps 0..2 (the step-2 entry is the stale
+  // one the drop pass emptied), the two escaped packets' second hops, and
+  // the walker's tail — far below pile * walk_hops.
+  EXPECT_LT(r.sim.link_visits, static_cast<std::uint64_t>(pile));
+  EXPECT_EQ(r.sim.makespan, 3 + walk_hops);
+}
+
+}  // namespace
+}  // namespace hyperpath

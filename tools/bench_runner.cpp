@@ -36,7 +36,8 @@ const std::vector<std::string> kSuite = {
     "illustration", "theorem1",   "theorem2",     "lower_bound",
     "grids",        "relaxation", "hamdecomp",    "ccc_multicopy",
     "transform",    "trees",      "bitserial",    "largecopy",
-    "faults",       "recovery",   "parallel_sim", "ablation",
+    "faults",       "recovery",   "parallel_sim", "simcore",
+    "ablation",
 };
 
 void usage(const char* argv0) {
