@@ -10,6 +10,7 @@
 #include "graph/euler.hpp"
 #include "hamdecomp/directed.hpp"
 #include "obs/profile.hpp"
+#include "par/task_pool.hpp"
 
 namespace hyperpath {
 
@@ -116,17 +117,23 @@ MultiPathEmbedding theorem1_cycle_embedding(int n) {
 
   {
     HP_PROFILE_SPAN("bundles");
+    // Per-edge fan-out: every iteration writes its own bundle slot, so the
+    // edge range shards onto the pool directly.
     const Digraph& g = emb.guest();
-    for (std::size_t e = 0; e < g.num_edges(); ++e) {
-      const Edge& ge = g.edge(e);
-      const Node a = emb.host_of(ge.from);
-      const Node b = emb.host_of(ge.to);
-      const Dim i = count_trailing_zeros(a ^ b);
-      std::vector<HostPath> bundle =
-          detour_bundle(a, b, i, f.is_row_dim(i) ? col_detours : row_detours);
-      bundle.push_back({a, b});  // the direct path (the 2k+1st)
-      emb.set_paths(e, std::move(bundle));
-    }
+    par::parallel_for(
+        0, g.num_edges(), par::suggested_grain(g.num_edges()),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t e = lo; e < hi; ++e) {
+            const Edge& ge = g.edge(e);
+            const Node a = emb.host_of(ge.from);
+            const Node b = emb.host_of(ge.to);
+            const Dim i = count_trailing_zeros(a ^ b);
+            std::vector<HostPath> bundle = detour_bundle(
+                a, b, i, f.is_row_dim(i) ? col_detours : row_detours);
+            bundle.push_back({a, b});  // the direct path (the 2k+1st)
+            emb.set_paths(e, std::move(bundle));
+          }
+        });
   }
   HP_PROFILE_SPAN("verify");
   emb.verify_or_throw(/*expected_width=*/2 * f.k + 1, /*expected_load=*/1);
@@ -221,20 +228,24 @@ MultiPathEmbedding theorem2_impl(int n, bool use_moments) {
   {
     HP_PROFILE_SPAN("bundles");
     const Digraph& g = emb.guest();
-    for (std::size_t e = 0; e < g.num_edges(); ++e) {
-      const Edge& ge = g.edge(e);
-      const Node a = emb.host_of(ge.from);
-      const Node b = emb.host_of(ge.to);
-      const Dim i = count_trailing_zeros(a ^ b);
-      // Column special edges flip row dimensions and detour through position
-      // neighbors; row special edges flip low dimensions and detour through
-      // row neighbors.  No direct path exists (Theorem 2's proof): each
-      // family's direct edges are consumed by the other family's first and
-      // last edges.
-      emb.set_paths(e, detour_bundle(a, b, i,
-                                     f.is_row_dim(i) ? col_detours
-                                                     : row_detours));
-    }
+    par::parallel_for(
+        0, g.num_edges(), par::suggested_grain(g.num_edges()),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t e = lo; e < hi; ++e) {
+            const Edge& ge = g.edge(e);
+            const Node a = emb.host_of(ge.from);
+            const Node b = emb.host_of(ge.to);
+            const Dim i = count_trailing_zeros(a ^ b);
+            // Column special edges flip row dimensions and detour through
+            // position neighbors; row special edges flip low dimensions and
+            // detour through row neighbors.  No direct path exists (Theorem
+            // 2's proof): each family's direct edges are consumed by the
+            // other family's first and last edges.
+            emb.set_paths(e, detour_bundle(a, b, i,
+                                           f.is_row_dim(i) ? col_detours
+                                                           : row_detours));
+          }
+        });
   }
   HP_PROFILE_SPAN("verify");
   emb.verify_or_throw(/*expected_width=*/2 * f.k, /*expected_load=*/2);

@@ -8,6 +8,7 @@
 #include "core/cycle_multipath.hpp"
 #include "hamdecomp/directed.hpp"
 #include "obs/profile.hpp"
+#include "par/task_pool.hpp"
 
 namespace hyperpath {
 
@@ -76,37 +77,45 @@ MultiPathEmbedding grid_multipath_embedding(const GridSpec& spec) {
   // all other fields fixed; the reverse grid direction reverses the paths.
   {
   HP_PROFILE_SPAN("bundles");
+  // Edges translate independently (reads of the per-axis embeddings are
+  // shared, each write lands in its own bundle slot), so the edge range
+  // shards onto the pool.
   const Digraph& g = emb.guest();
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    const Edge& ge = g.edge(e);
-    const auto cf = spec.coords(ge.from);
-    const auto ct = spec.coords(ge.to);
-    int a = -1;
-    for (int i = 0; i < k; ++i) {
-      if (cf[i] != ct[i]) {
-        HP_CHECK(a < 0, "grid edge changes two axes");
-        a = i;
-      }
-    }
-    HP_CHECK(a >= 0, "degenerate grid edge");
+  par::parallel_for(
+      0, g.num_edges(), par::suggested_grain(g.num_edges()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t e = lo; e < hi; ++e) {
+          const Edge& ge = g.edge(e);
+          const auto cf = spec.coords(ge.from);
+          const auto ct = spec.coords(ge.to);
+          int a = -1;
+          for (int i = 0; i < k; ++i) {
+            if (cf[i] != ct[i]) {
+              HP_CHECK(a < 0, "grid edge changes two axes");
+              a = i;
+            }
+          }
+          HP_CHECK(a >= 0, "degenerate grid edge");
 
-    // The guest is directed: every edge goes c → c+1 (or the wrap
-    // side−1 → 0), matching the axis cycle's orientation.
-    const std::size_t cycle_edge = axis[a].guest().find_edge(cf[a], ct[a]);
-    HP_CHECK(cycle_edge != static_cast<std::size_t>(-1),
-             "axis cycle edge missing");
+          // The guest is directed: every edge goes c → c+1 (or the wrap
+          // side−1 → 0), matching the axis cycle's orientation.
+          const std::size_t cycle_edge =
+              axis[a].guest().find_edge(cf[a], ct[a]);
+          HP_CHECK(cycle_edge != static_cast<std::size_t>(-1),
+                   "axis cycle edge missing");
 
-    const Node fixed = emb.host_of(ge.from) &
-                       ~((bit(bits[a]) - 1) << offset[a]);
-    std::vector<HostPath> bundle;
-    for (const HostPath& p : axis[a].paths(cycle_edge)) {
-      HostPath q;
-      q.reserve(p.size());
-      for (Node hop : p) q.push_back(fixed | (hop << offset[a]));
-      bundle.push_back(std::move(q));
-    }
-    emb.set_paths(e, std::move(bundle));
-  }
+          const Node fixed =
+              emb.host_of(ge.from) & ~((bit(bits[a]) - 1) << offset[a]);
+          std::vector<HostPath> bundle;
+          for (const HostPath& p : axis[a].paths(cycle_edge)) {
+            HostPath q;
+            q.reserve(p.size());
+            for (Node hop : p) q.push_back(fixed | (hop << offset[a]));
+            bundle.push_back(std::move(q));
+          }
+          emb.set_paths(e, std::move(bundle));
+        }
+      });
   }
 
   HP_PROFILE_SPAN("verify");
@@ -138,25 +147,40 @@ KCopyEmbedding multicopy_torus(const GridSpec& spec) {
 
   KCopyEmbedding emb(grid_graph_directed(spec), total);
   const Node n_guest = spec.num_nodes();
-  for (int c = 0; c < copies; ++c) {
-    // Copy c: coordinate x along axis a sits at the x-th node of directed
-    // cycle c of that axis's subcube.
-    std::vector<std::vector<Node>> seq(k);
-    for (int a = 0; a < k; ++a) seq[a] = fam[a].sequence(c, 0);
+  // Copies are independent: build each copy's η and paths in parallel
+  // (one copy per task), then append serially in copy order so the
+  // embedding's copy indices never depend on the schedule.
+  std::vector<std::vector<Node>> etas(copies);
+  std::vector<std::vector<HostPath>> copy_paths(copies);
+  par::parallel_for(
+      0, static_cast<std::size_t>(copies), /*grain=*/1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          // Copy c: coordinate x along axis a sits at the x-th node of
+          // directed cycle c of that axis's subcube.
+          std::vector<std::vector<Node>> seq(k);
+          for (int a = 0; a < k; ++a) {
+            seq[a] = fam[a].sequence(static_cast<int>(c), 0);
+          }
 
-    std::vector<Node> eta(n_guest);
-    for (Node v = 0; v < n_guest; ++v) {
-      const auto coords = spec.coords(v);
-      Node addr = 0;
-      for (int a = 0; a < k; ++a) addr |= seq[a][coords[a]] << offset[a];
-      eta[v] = addr;
-    }
-    std::vector<HostPath> paths(emb.guest().num_edges());
-    for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
-      const Edge& ge = emb.guest().edge(e);
-      paths[e] = {eta[ge.from], eta[ge.to]};
-    }
-    emb.add_copy(std::move(eta), std::move(paths));
+          std::vector<Node> eta(n_guest);
+          for (Node v = 0; v < n_guest; ++v) {
+            const auto coords = spec.coords(v);
+            Node addr = 0;
+            for (int a = 0; a < k; ++a) addr |= seq[a][coords[a]] << offset[a];
+            eta[v] = addr;
+          }
+          std::vector<HostPath> paths(emb.guest().num_edges());
+          for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+            const Edge& ge = emb.guest().edge(e);
+            paths[e] = {eta[ge.from], eta[ge.to]};
+          }
+          etas[c] = std::move(eta);
+          copy_paths[c] = std::move(paths);
+        }
+      });
+  for (int c = 0; c < copies; ++c) {
+    emb.add_copy(std::move(etas[c]), std::move(copy_paths[c]));
   }
   emb.verify_or_throw(/*expected_congestion=*/1);
   return emb;

@@ -6,8 +6,27 @@
 #include "hamdecomp/decomposition.hpp"
 #include "hamdecomp/directed.hpp"
 #include "obs/profile.hpp"
+#include "par/task_pool.hpp"
 
 namespace hyperpath {
+
+namespace {
+
+/// Sharded per-edge fan-out shared by the large-copy constructions: every
+/// guest edge maps to the single direct path between its endpoints' images.
+void set_direct_paths(MultiPathEmbedding& emb) {
+  const Digraph& g = emb.guest();
+  par::parallel_for(
+      0, g.num_edges(), par::suggested_grain(g.num_edges()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t e = lo; e < hi; ++e) {
+          const Edge& ge = g.edge(e);
+          emb.set_paths(e, {{emb.host_of(ge.from), emb.host_of(ge.to)}});
+        }
+      });
+}
+
+}  // namespace
 
 MultiPathEmbedding largecopy_directed_cycle(int n) {
   HP_PROFILE_SPAN("construct/largecopy_directed");
@@ -29,11 +48,7 @@ MultiPathEmbedding largecopy_directed_cycle(int n) {
   }
   emb.set_node_map(std::move(eta));
 
-  const Digraph& g = emb.guest();
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    const Edge& ge = g.edge(e);
-    emb.set_paths(e, {{emb.host_of(ge.from), emb.host_of(ge.to)}});
-  }
+  set_direct_paths(emb);
   emb.verify_or_throw(/*expected_width=*/1, /*expected_load=*/copies);
   return emb;
 }
@@ -61,11 +76,7 @@ MultiPathEmbedding largecopy_undirected_cycle(int n) {
     }
   }
   emb.set_node_map(std::move(eta));
-  const Digraph& g = emb.guest();
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    const Edge& ge = g.edge(e);
-    emb.set_paths(e, {{emb.host_of(ge.from), emb.host_of(ge.to)}});
-  }
+  set_direct_paths(emb);
   emb.verify_or_throw(/*expected_width=*/1,
                       /*expected_load=*/static_cast<int>(d.cycles.size()));
   // Undirected-congestion-1: each undirected host link carries exactly one
@@ -97,16 +108,20 @@ MultiPathEmbedding collapse_columns(Digraph guest, const LevelColumnLayout& lay,
   emb.set_node_map(std::move(eta));
 
   const Digraph& g = emb.guest();
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
-    const Edge& ge = g.edge(e);
-    const Node a = emb.host_of(ge.from);
-    const Node b = emb.host_of(ge.to);
-    if (a == b) {
-      emb.set_paths(e, {{a}});  // internal: zero communication
-    } else {
-      emb.set_paths(e, {{a, b}});
-    }
-  }
+  par::parallel_for(
+      0, g.num_edges(), par::suggested_grain(g.num_edges()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t e = lo; e < hi; ++e) {
+          const Edge& ge = g.edge(e);
+          const Node a = emb.host_of(ge.from);
+          const Node b = emb.host_of(ge.to);
+          if (a == b) {
+            emb.set_paths(e, {{a}});  // internal: zero communication
+          } else {
+            emb.set_paths(e, {{a, b}});
+          }
+        }
+      });
   emb.verify_or_throw(/*expected_width=*/1, /*expected_load=*/load);
   return emb;
 }

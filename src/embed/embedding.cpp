@@ -4,8 +4,24 @@
 
 #include "base/bits.hpp"
 #include "base/error.hpp"
+#include "par/task_pool.hpp"
 
 namespace hyperpath {
+
+namespace {
+
+/// Per-worker accumulator of the fused bundle sweep.  The congestion
+/// scratch is allocated lazily (a worker that never ran a chunk costs
+/// nothing) and merged into the result in ascending worker order; the
+/// counters are sums, so the merged vector is bit-identical for any thread
+/// count and any steal pattern.
+struct SweepShard {
+  std::size_t max_dilation = 0;
+  std::size_t min_width = SIZE_MAX;
+  std::vector<std::uint32_t> cong;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // MultiPathEmbedding
@@ -53,24 +69,60 @@ int MultiPathEmbedding::width() const {
   return bundles_.empty() ? 0 : static_cast<int>(mn);
 }
 
-std::vector<std::uint32_t> MultiPathEmbedding::congestion_per_link() const {
-  std::vector<std::uint32_t> cong(host_.num_directed_edges(), 0);
-  for (const auto& bundle : bundles_) {
-    for (const HostPath& p : bundle) {
-      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
-        ++cong[host_.edge_id(p[i], p[i + 1])];
-      }
+EmbeddingMetrics MultiPathEmbedding::metrics() const {
+  EmbeddingMetrics m;
+  m.load = load();
+
+  const std::size_t nedges = bundles_.size();
+  const std::size_t nlinks = host_.num_directed_edges();
+  m.congestion_per_link.reserve(nlinks);
+  m.congestion_per_link.assign(nlinks, 0);
+  if (nedges == 0) return m;
+
+  const int workers = par::current_pool().threads();
+  std::vector<SweepShard> shard(workers);
+  par::parallel_for_chunks(
+      0, nedges, par::suggested_grain(nedges),
+      [&](std::size_t, std::size_t lo, std::size_t hi, int w) {
+        SweepShard& sh = shard[w];
+        if (sh.cong.empty()) sh.cong.assign(nlinks, 0);
+        for (std::size_t e = lo; e < hi; ++e) {
+          const auto& bundle = bundles_[e];
+          sh.min_width = std::min(sh.min_width, bundle.size());
+          for (const HostPath& p : bundle) {
+            sh.max_dilation = std::max(sh.max_dilation, p.size() - 1);
+            for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+              ++sh.cong[host_.edge_id(p[i], p[i + 1])];
+            }
+          }
+        }
+      });
+
+  std::size_t max_dilation = 0;
+  std::size_t min_width = SIZE_MAX;
+  for (int w = 0; w < workers; ++w) {
+    max_dilation = std::max(max_dilation, shard[w].max_dilation);
+    min_width = std::min(min_width, shard[w].min_width);
+    if (shard[w].cong.empty()) continue;
+    for (std::size_t l = 0; l < nlinks; ++l) {
+      m.congestion_per_link[l] += shard[w].cong[l];
     }
   }
-  return cong;
+  m.dilation = static_cast<int>(max_dilation);
+  m.width = static_cast<int>(min_width);
+  m.congestion =
+      m.congestion_per_link.empty()
+          ? 0
+          : static_cast<int>(*std::max_element(m.congestion_per_link.begin(),
+                                               m.congestion_per_link.end()));
+  return m;
 }
 
-int MultiPathEmbedding::congestion() const {
-  const auto cong = congestion_per_link();
-  return cong.empty() ? 0
-                      : static_cast<int>(*std::max_element(cong.begin(),
-                                                           cong.end()));
+std::vector<std::uint32_t> MultiPathEmbedding::congestion_per_link() const {
+  return metrics().congestion_per_link;
 }
+
+int MultiPathEmbedding::congestion() const { return metrics().congestion; }
 
 double MultiPathEmbedding::expansion() const {
   const std::uint64_t need = pow2(ceil_log2(guest_.num_nodes()));
@@ -88,7 +140,7 @@ void MultiPathEmbedding::verify_or_throw(int expected_width,
     HP_CHECK(observed_load <= expected_load, "load exceeds expected bound");
   } else {
     // Paper default: one-to-one when the guest fits, otherwise balanced
-    // many-to-one with load ⌈|V(G)|/|V(H)|⌉.
+    // many-to-one with load ⌈|V(G)|/|V(W)|⌉.
     const std::uint64_t vg = guest_.num_nodes();
     const std::uint64_t vh = host_.num_nodes();
     const std::uint64_t bound = (vg + vh - 1) / vh;
@@ -96,22 +148,37 @@ void MultiPathEmbedding::verify_or_throw(int expected_width,
              "load exceeds ceil(|V|/|W|)");
   }
 
-  // Paths.
-  for (std::size_t e = 0; e < guest_.num_edges(); ++e) {
-    const Edge& ge = guest_.edge(e);
-    const auto& bundle = bundles_[e];
-    HP_CHECK(!bundle.empty(), "guest edge has no image path");
-    for (const HostPath& p : bundle) {
-      HP_CHECK(is_valid_path(host_, p), "image path is not a hypercube walk");
-      HP_CHECK(p.front() == eta_[ge.from], "path does not start at η(u)");
-      HP_CHECK(p.back() == eta_[ge.to], "path does not end at η(v)");
-    }
-    HP_CHECK(paths_edge_disjoint(host_, bundle),
-             "bundle paths are not edge-disjoint");
-  }
+  // Paths: one sweep sharded over guest edges checks structure AND
+  // accumulates the width, so no metric helper re-walks the bundles.
+  const std::size_t nedges = guest_.num_edges();
+  const int workers = par::current_pool().threads();
+  std::vector<std::size_t> shard_min_width(workers, SIZE_MAX);
+  par::parallel_for_chunks(
+      0, nedges, par::suggested_grain(nedges, 32),
+      [&](std::size_t, std::size_t lo, std::size_t hi, int w) {
+        std::size_t mn = shard_min_width[w];
+        for (std::size_t e = lo; e < hi; ++e) {
+          const Edge& ge = guest_.edge(e);
+          const auto& bundle = bundles_[e];
+          HP_CHECK(!bundle.empty(), "guest edge has no image path");
+          for (const HostPath& p : bundle) {
+            HP_CHECK(is_valid_path(host_, p),
+                     "image path is not a hypercube walk");
+            HP_CHECK(p.front() == eta_[ge.from], "path does not start at η(u)");
+            HP_CHECK(p.back() == eta_[ge.to], "path does not end at η(v)");
+          }
+          HP_CHECK(paths_edge_disjoint(host_, bundle),
+                   "bundle paths are not edge-disjoint");
+          mn = std::min(mn, bundle.size());
+        }
+        shard_min_width[w] = mn;
+      });
 
   if (expected_width >= 0) {
-    HP_CHECK(width() == expected_width, "width differs from expected");
+    std::size_t mn = SIZE_MAX;
+    for (std::size_t w : shard_min_width) mn = std::min(mn, w);
+    const int observed_width = nedges == 0 ? 0 : static_cast<int>(mn);
+    HP_CHECK(observed_width == expected_width, "width differs from expected");
   }
 }
 
@@ -137,41 +204,79 @@ int KCopyEmbedding::dilation() const {
   return static_cast<int>(mx);
 }
 
-std::vector<std::uint32_t> KCopyEmbedding::congestion_per_link() const {
-  std::vector<std::uint32_t> cong(host_.num_directed_edges(), 0);
-  for (const Copy& c : copies_) {
-    for (const HostPath& p : c.paths) {
-      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
-        ++cong[host_.edge_id(p[i], p[i + 1])];
-      }
+KCopyEmbedding::Metrics KCopyEmbedding::metrics() const {
+  Metrics m;
+  const std::size_t nlinks = host_.num_directed_edges();
+  m.congestion_per_link.reserve(nlinks);
+  m.congestion_per_link.assign(nlinks, 0);
+  if (copies_.empty()) return m;
+
+  const int workers = par::current_pool().threads();
+  std::vector<SweepShard> shard(workers);
+  par::parallel_for_chunks(
+      0, copies_.size(), /*grain=*/1,
+      [&](std::size_t, std::size_t lo, std::size_t hi, int w) {
+        SweepShard& sh = shard[w];
+        if (sh.cong.empty()) sh.cong.assign(nlinks, 0);
+        for (std::size_t c = lo; c < hi; ++c) {
+          for (const HostPath& p : copies_[c].paths) {
+            sh.max_dilation = std::max(sh.max_dilation, p.size() - 1);
+            for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+              ++sh.cong[host_.edge_id(p[i], p[i + 1])];
+            }
+          }
+        }
+      });
+
+  std::size_t max_dilation = 0;
+  for (int w = 0; w < workers; ++w) {
+    max_dilation = std::max(max_dilation, shard[w].max_dilation);
+    if (shard[w].cong.empty()) continue;
+    for (std::size_t l = 0; l < nlinks; ++l) {
+      m.congestion_per_link[l] += shard[w].cong[l];
     }
   }
-  return cong;
+  m.dilation = static_cast<int>(max_dilation);
+  m.edge_congestion =
+      m.congestion_per_link.empty()
+          ? 0
+          : static_cast<int>(*std::max_element(m.congestion_per_link.begin(),
+                                               m.congestion_per_link.end()));
+  return m;
+}
+
+std::vector<std::uint32_t> KCopyEmbedding::congestion_per_link() const {
+  return metrics().congestion_per_link;
 }
 
 int KCopyEmbedding::edge_congestion() const {
-  const auto cong = congestion_per_link();
-  return cong.empty() ? 0
-                      : static_cast<int>(*std::max_element(cong.begin(),
-                                                           cong.end()));
+  return metrics().edge_congestion;
 }
 
 void KCopyEmbedding::verify_or_throw(int expected_congestion) const {
-  for (const Copy& c : copies_) {
-    std::vector<bool> hit(host_.num_nodes(), false);
-    for (Node h : c.eta) {
-      HP_CHECK(host_.contains(h), "copy node map entry invalid");
-      HP_CHECK(!hit[h], "copy node map is not one-to-one");
-      hit[h] = true;
-    }
-    for (std::size_t e = 0; e < guest_.num_edges(); ++e) {
-      const Edge& ge = guest_.edge(e);
-      const HostPath& p = c.paths[e];
-      HP_CHECK(is_valid_path(host_, p), "copy path is not a hypercube walk");
-      HP_CHECK(p.front() == c.eta[ge.from], "copy path start mismatch");
-      HP_CHECK(p.back() == c.eta[ge.to], "copy path end mismatch");
-    }
-  }
+  // One copy per task: copies are independent, and the pool's
+  // lowest-chunk error selection keeps the thrown error the serial scan's.
+  par::parallel_for_chunks(
+      0, copies_.size(), /*grain=*/1,
+      [&](std::size_t, std::size_t lo, std::size_t hi, int) {
+        for (std::size_t ci = lo; ci < hi; ++ci) {
+          const Copy& c = copies_[ci];
+          std::vector<bool> hit(host_.num_nodes(), false);
+          for (Node h : c.eta) {
+            HP_CHECK(host_.contains(h), "copy node map entry invalid");
+            HP_CHECK(!hit[h], "copy node map is not one-to-one");
+            hit[h] = true;
+          }
+          for (std::size_t e = 0; e < guest_.num_edges(); ++e) {
+            const Edge& ge = guest_.edge(e);
+            const HostPath& p = c.paths[e];
+            HP_CHECK(is_valid_path(host_, p),
+                     "copy path is not a hypercube walk");
+            HP_CHECK(p.front() == c.eta[ge.from], "copy path start mismatch");
+            HP_CHECK(p.back() == c.eta[ge.to], "copy path end mismatch");
+          }
+        }
+      });
   if (expected_congestion >= 0) {
     HP_CHECK(edge_congestion() <= expected_congestion,
              "edge-congestion exceeds expected bound");

@@ -27,6 +27,17 @@
 
 namespace hyperpath {
 
+/// Every Section-3 metric of a multiple-path embedding, produced by one
+/// fused sweep over the bundles (see MultiPathEmbedding::metrics) instead
+/// of one re-walk per metric.
+struct EmbeddingMetrics {
+  int load = 0;
+  int dilation = 0;
+  int width = 0;
+  int congestion = 0;
+  std::vector<std::uint32_t> congestion_per_link;  // by Hypercube::edge_id
+};
+
 /// A multiple-path embedding of a guest digraph into Q_host_dims.
 /// A width-1 instance is an ordinary (single-path) embedding.
 class MultiPathEmbedding {
@@ -58,9 +69,18 @@ class MultiPathEmbedding {
   int width() const;
 
   /// Congestion per host directed edge, indexed by Hypercube::edge_id.
+  /// Sharded over guest edges on the par::TaskPool; per-worker scratch
+  /// counters are merged in fixed order, so the vector is bit-identical for
+  /// every thread count.
   std::vector<std::uint32_t> congestion_per_link() const;
 
   int congestion() const;
+
+  /// All metrics in one sharded sweep over the bundles (plus the O(|V|)
+  /// node-map pass for load) — call this instead of four separate
+  /// re-walks when more than one metric is needed.  Deterministic across
+  /// thread counts.
+  EmbeddingMetrics metrics() const;
 
   /// |V(H)| divided by the smallest power of two at least |V(G)|.
   double expansion() const;
@@ -74,6 +94,12 @@ class MultiPathEmbedding {
   /// If expected_width ≥ 0, also checks width() == expected_width.
   /// If expected_load ≥ 0, checks load() ≤ expected_load; otherwise applies
   /// the paper's default (one-to-one when the guest fits).
+  ///
+  /// The per-edge checks and the width computation run as one sweep
+  /// sharded over guest edges on the par::TaskPool.  Failure selection is
+  /// deterministic: the error thrown is always the first failing edge's
+  /// (chunks partition the edge range in order and the pool rethrows the
+  /// lowest throwing chunk), identical to the serial scan.
   void verify_or_throw(int expected_width = -1, int expected_load = -1) const;
 
  private:
@@ -109,12 +135,25 @@ class KCopyEmbedding {
   int dilation() const;
 
   /// Edge-congestion summed across copies, per host directed edge.
+  /// Sharded over copies on the par::TaskPool with per-worker scratch
+  /// merged in fixed order (bit-identical for every thread count).
   std::vector<std::uint32_t> congestion_per_link() const;
   int edge_congestion() const;
 
+  /// Dilation + edge-congestion (+ the per-link vector) in one sharded
+  /// sweep over the copies instead of one re-walk per metric.
+  struct Metrics {
+    int dilation = 0;
+    int edge_congestion = 0;
+    std::vector<std::uint32_t> congestion_per_link;
+  };
+  Metrics metrics() const;
+
   /// Checks: every copy's η is one-to-one, every path valid with correct
   /// endpoints.  If expected_congestion ≥ 0, also checks
-  /// edge_congestion() ≤ expected_congestion.
+  /// edge_congestion() ≤ expected_congestion.  Copies are checked in
+  /// parallel on the par::TaskPool; the error thrown is always the first
+  /// failing copy's first failing check, identical to the serial scan.
   void verify_or_throw(int expected_congestion = -1) const;
 
  private:

@@ -1,5 +1,6 @@
 #include "obs/run_metadata.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <ctime>
 #include <thread>
@@ -27,6 +28,14 @@
 
 namespace hyperpath::obs {
 
+namespace {
+std::atomic<int> g_effective_threads{0};
+}  // namespace
+
+void RunMetadata::set_effective_threads(int threads) {
+  g_effective_threads.store(threads, std::memory_order_relaxed);
+}
+
 RunMetadata RunMetadata::collect() {
   RunMetadata m;
   m.git_sha = HP_GIT_SHA;
@@ -35,6 +44,7 @@ RunMetadata RunMetadata::collect() {
   m.build_type = HP_BUILD_TYPE;
   m.hardware_threads =
       static_cast<int>(std::thread::hardware_concurrency());
+  m.effective_threads = g_effective_threads.load(std::memory_order_relaxed);
 
 #if defined(__unix__) || defined(__APPLE__)
   char host[256] = {};
@@ -64,6 +74,7 @@ void RunMetadata::write_json(JsonWriter& w) const {
   w.field("hostname", hostname);
   w.field("timestamp", timestamp);
   w.field("hardware_threads", hardware_threads);
+  w.field("effective_threads", effective_threads);
   w.end_object();
 }
 

@@ -22,9 +22,18 @@ struct RunMetadata {
   std::string hostname;
   std::string timestamp;    // UTC, ISO 8601
   int hardware_threads = 0;
+  /// Thread count the par::TaskPool actually runs with (HYPERPATH_THREADS /
+  /// --threads resolved), 0 until any pool exists.  A parallel measurement
+  /// without its thread count is as unusable as one without its sha.
+  int effective_threads = 0;
 
   /// Compile-time fields + live hostname/timestamp.
   static RunMetadata collect();
+
+  /// Records the resolved pool size for collect() to pick up.  Called by
+  /// par::TaskPool when the global pool is created or resized; obs stays
+  /// dependency-free of par.
+  static void set_effective_threads(int threads);
 
   /// {"git_sha":...,"compiler":...,...} as one object value.
   void write_json(JsonWriter& w) const;

@@ -10,6 +10,7 @@
 
 #include "base/error.hpp"
 #include "obs/profile.hpp"
+#include "par/task_pool.hpp"
 #include "sim/faults.hpp"
 #include "sim/simcore.hpp"
 
@@ -89,7 +90,9 @@ class WorkerPool {
 ParallelStoreForwardSim::ParallelStoreForwardSim(int dims, int threads)
     : host_(dims), threads_(threads) {
   if (threads_ <= 0) {
-    threads_ = std::max(1u, std::thread::hardware_concurrency());
+    // Follow the process-wide pool size (HYPERPATH_THREADS / --threads)
+    // instead of raw hardware_concurrency, so one knob governs both layers.
+    threads_ = par::global_threads();
   }
   threads_ = std::min(threads_, 64);
 }

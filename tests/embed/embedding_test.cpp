@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "base/error.hpp"
 #include "graph/builders.hpp"
 
@@ -118,6 +120,111 @@ TEST(KCopyEmbedding, VerifyCatchesNonInjectiveCopy) {
   std::vector<HostPath> paths(4, HostPath{0, 1});
   emb.add_copy(eta, paths);
   EXPECT_THROW(emb.verify_or_throw(), Error);
+}
+
+// A valid one-copy embedding of the directed 4-cycle into Q_2, for the
+// error-path tests to corrupt one aspect at a time.
+KCopyEmbedding one_good_copy() {
+  const Digraph guest = directed_cycle(4);
+  KCopyEmbedding emb(guest, 2);
+  const std::vector<Node> eta{0b00, 0b01, 0b11, 0b10};
+  std::vector<HostPath> paths(4);
+  for (std::size_t e = 0; e < 4; ++e) {
+    const Edge& ge = guest.edge(e);
+    paths[e] = {eta[ge.from], eta[ge.to]};
+  }
+  emb.add_copy(eta, paths);
+  return emb;
+}
+
+std::string verify_error(const KCopyEmbedding& emb) {
+  try {
+    emb.verify_or_throw();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(KCopyEmbedding, VerifyReportsDuplicateEtaEntries) {
+  auto emb = one_good_copy();
+  std::vector<Node> eta{0b00, 0b01, 0b01, 0b10};  // 0b01 twice
+  std::vector<HostPath> paths(4, HostPath{0b00, 0b01});
+  emb.add_copy(eta, paths);
+  EXPECT_NE(verify_error(emb).find("copy node map is not one-to-one"),
+            std::string::npos);
+}
+
+TEST(KCopyEmbedding, VerifyReportsOutOfRangeEta) {
+  auto emb = one_good_copy();
+  std::vector<Node> eta{0b00, 0b01, 0b11, 0b100};  // 4 ∉ Q_2
+  std::vector<HostPath> paths(4, HostPath{0b00, 0b01});
+  emb.add_copy(eta, paths);
+  EXPECT_NE(verify_error(emb).find("copy node map entry invalid"),
+            std::string::npos);
+}
+
+TEST(KCopyEmbedding, VerifyReportsWrongPathEndpoints) {
+  {
+    auto emb = one_good_copy();
+    std::vector<Node> eta{0b00, 0b01, 0b11, 0b10};
+    std::vector<HostPath> paths(4);
+    for (std::size_t e = 0; e < 4; ++e) {
+      const Edge& ge = emb.guest().edge(e);
+      paths[e] = {eta[ge.from], eta[ge.to]};
+    }
+    paths[0] = {0b01, 0b11};  // starts at η(1), not η(0)
+    emb.add_copy(eta, paths);
+    EXPECT_NE(verify_error(emb).find("copy path start mismatch"),
+              std::string::npos);
+  }
+  {
+    auto emb = one_good_copy();
+    std::vector<Node> eta{0b00, 0b01, 0b11, 0b10};
+    std::vector<HostPath> paths(4);
+    for (std::size_t e = 0; e < 4; ++e) {
+      const Edge& ge = emb.guest().edge(e);
+      paths[e] = {eta[ge.from], eta[ge.to]};
+    }
+    paths[0] = {0b00, 0b10};  // valid walk, ends at η(3) instead of η(1)
+    emb.add_copy(eta, paths);
+    EXPECT_NE(verify_error(emb).find("copy path end mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(KCopyEmbedding, VerifyReportsNonAdjacentHop) {
+  auto emb = one_good_copy();
+  std::vector<Node> eta{0b00, 0b01, 0b11, 0b10};
+  std::vector<HostPath> paths(4);
+  for (std::size_t e = 0; e < 4; ++e) {
+    const Edge& ge = emb.guest().edge(e);
+    paths[e] = {eta[ge.from], eta[ge.to]};
+  }
+  paths[0] = {0b00, 0b11};  // flips two bits at once
+  emb.add_copy(eta, paths);
+  EXPECT_NE(verify_error(emb).find("copy path is not a hypercube walk"),
+            std::string::npos);
+}
+
+TEST(KCopyEmbedding, VerifyErrorIsFirstFailingCopy) {
+  // Corrupt copies 1 and 2 differently: the thrown error must always be
+  // copy 1's, regardless of how the copies shard across pool workers.
+  auto emb = one_good_copy();
+  std::vector<Node> eta{0b00, 0b01, 0b11, 0b10};
+  std::vector<HostPath> paths(4);
+  for (std::size_t e = 0; e < 4; ++e) {
+    const Edge& ge = emb.guest().edge(e);
+    paths[e] = {eta[ge.from], eta[ge.to]};
+  }
+  auto bad_walk = paths;
+  bad_walk[0] = {0b00, 0b11};
+  emb.add_copy(eta, bad_walk);  // copy 1: invalid walk
+  auto bad_eta = eta;
+  bad_eta[3] = 0b100;
+  emb.add_copy(bad_eta, paths);  // copy 2: η out of range
+  EXPECT_NE(verify_error(emb).find("copy path is not a hypercube walk"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,183 @@
+#include "par/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hyperpath::par {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 3, 5, 8};
+
+TEST(TaskPool, EveryIndexRunsExactlyOnce) {
+  for (int t : kThreadCounts) {
+    TaskPool pool(t);
+    PoolScope scope(pool);
+    for (std::size_t total : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
+      for (std::size_t grain : {1ul, 3ul, 64ul, 1000ul}) {
+        std::vector<std::atomic<int>> hits(total);
+        parallel_for(0, total, grain, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        for (std::size_t i = 0; i < total; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "threads=" << t << " total=" << total << " grain=" << grain
+              << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(TaskPool, ChunkBoundariesIndependentOfThreadCount) {
+  // The (chunk, lo, hi) triples must be a pure function of (range, grain).
+  const std::size_t total = 103, grain = 10;
+  std::vector<std::pair<std::size_t, std::size_t>> expected;
+  {
+    TaskPool pool(1);
+    PoolScope scope(pool);
+    expected.assign(chunk_count(total, grain), {});
+    parallel_for_chunks(0, total, grain,
+                        [&](std::size_t c, std::size_t lo, std::size_t hi,
+                            int) { expected[c] = {lo, hi}; });
+  }
+  for (int t : kThreadCounts) {
+    TaskPool pool(t);
+    PoolScope scope(pool);
+    std::vector<std::pair<std::size_t, std::size_t>> got(
+        chunk_count(total, grain));
+    parallel_for_chunks(0, total, grain,
+                        [&](std::size_t c, std::size_t lo, std::size_t hi,
+                            int) { got[c] = {lo, hi}; });
+    EXPECT_EQ(got, expected) << "threads=" << t;
+  }
+}
+
+TEST(TaskPool, ReduceIsDeterministicForNonCommutativeFold) {
+  // Floating-point sum in chunk order: any thread count must reproduce the
+  // serial fold bit-for-bit.
+  const std::size_t total = 5000;
+  std::vector<double> x(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    x[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto run = [&](int threads) {
+    TaskPool pool(threads);
+    PoolScope scope(pool);
+    return parallel_reduce<double>(
+        0, total, 17, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0;
+          for (std::size_t i = lo; i < hi; ++i) s += x[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double serial = run(1);
+  for (int t : kThreadCounts) {
+    const double got = run(t);
+    EXPECT_EQ(serial, got) << "threads=" << t;  // exact, not near
+  }
+}
+
+TEST(TaskPool, RethrowsLowestThrowingChunk) {
+  for (int t : kThreadCounts) {
+    TaskPool pool(t);
+    PoolScope scope(pool);
+    // Chunks 13 and 37 both throw; chunk 13's message must always win.
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      try {
+        parallel_for_chunks(0, 100, 1,
+                            [&](std::size_t c, std::size_t, std::size_t,
+                                int) {
+                              if (c == 13 || c == 37) {
+                                throw std::runtime_error(
+                                    "chunk " + std::to_string(c));
+                              }
+                            });
+        FAIL() << "no exception";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "chunk 13") << "threads=" << t;
+      }
+    }
+  }
+}
+
+TEST(TaskPool, NestedRegionsRunInline) {
+  TaskPool pool(4);
+  PoolScope scope(pool);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, 8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Inner region from inside a running region: must execute inline
+      // (worker stays fixed) and still cover its whole range.
+      parallel_for_chunks(0, 8, 1,
+                          [&](std::size_t c, std::size_t, std::size_t,
+                              int w) {
+                            EXPECT_EQ(w, 0);  // inline collapse
+                            hits[i * 8 + c].fetch_add(
+                                1, std::memory_order_relaxed);
+                          });
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, ResolveThreadsPrecedence) {
+  EXPECT_EQ(TaskPool::resolve_threads(3), 3);
+  EXPECT_EQ(TaskPool::resolve_threads(TaskPool::kMaxThreads + 10),
+            TaskPool::kMaxThreads);
+
+  ::setenv("HYPERPATH_THREADS", "5", 1);
+  EXPECT_EQ(TaskPool::resolve_threads(0), 5);
+  EXPECT_EQ(TaskPool::resolve_threads(2), 2);  // explicit beats env
+  ::setenv("HYPERPATH_THREADS", "0", 1);       // invalid → hardware fallback
+  EXPECT_GE(TaskPool::resolve_threads(0), 1);
+  ::unsetenv("HYPERPATH_THREADS");
+  EXPECT_GE(TaskPool::resolve_threads(0), 1);
+}
+
+TEST(TaskPool, StatsAccumulate) {
+  TaskPool pool(2);
+  PoolScope scope(pool);
+  const auto before = pool.stats();
+  parallel_for(0, 100, 1, [](std::size_t, std::size_t) {});
+  const auto after = pool.stats();
+  EXPECT_EQ(after.regions, before.regions + 1);
+  EXPECT_EQ(after.tasks, before.tasks + 100);
+  EXPECT_EQ(after.busy_seconds.size(), 2u);
+}
+
+TEST(TaskPool, PoolScopeRestoresPrevious) {
+  TaskPool outer(2), inner(3);
+  {
+    PoolScope a(outer);
+    EXPECT_EQ(current_pool().threads(), 2);
+    {
+      PoolScope b(inner);
+      EXPECT_EQ(current_pool().threads(), 3);
+    }
+    EXPECT_EQ(current_pool().threads(), 2);
+  }
+  // After all scopes: back to the global pool.
+  EXPECT_EQ(current_pool().threads(), global_threads());
+}
+
+TEST(TaskPool, SerialCollapseUsesWorkerZero) {
+  TaskPool pool(1);
+  PoolScope scope(pool);
+  parallel_for_chunks(0, 10, 1,
+                      [](std::size_t, std::size_t, std::size_t, int w) {
+                        EXPECT_EQ(w, 0);
+                      });
+}
+
+}  // namespace
+}  // namespace hyperpath::par

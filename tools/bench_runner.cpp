@@ -6,8 +6,12 @@
 // Each bench runs as `bench_<name> --json BENCH_<name>.json
 // --benchmark_filter=NONE` (tables only, no google-benchmark timings — the
 // per-phase numbers come from the construction profiler embedded in every
-// report).  Per-bench reports land next to the suite file; the merged
-// document is
+// report).  Benches are independent child processes, so they execute
+// concurrently as par::TaskPool tasks (one bench per task, HYPERPATH_THREADS
+// at a time); every bench writes into its own pre-assigned result slot and
+// the suite is merged from those slots in declared order, so the output
+// document is byte-identical to a serial run.  Per-bench reports land next
+// to the suite file; the merged document is
 //
 //   {"suite": "hyperpath", "meta": {...run metadata...},
 //    "reports": {"theorem1": {...}, ...}}
@@ -25,6 +29,7 @@
 #include "obs/json.hpp"
 #include "obs/json_parse.hpp"
 #include "obs/run_metadata.hpp"
+#include "par/task_pool.hpp"
 
 namespace fs = std::filesystem;
 
@@ -37,7 +42,15 @@ const std::vector<std::string> kSuite = {
     "grids",        "relaxation", "hamdecomp",    "ccc_multicopy",
     "transform",    "trees",      "bitserial",    "largecopy",
     "faults",       "recovery",   "parallel_sim", "simcore",
-    "ablation",
+    "ablation",     "par",
+};
+
+/// Outcome slot of one bench, filled by its pool task and consumed in
+/// declared suite order.
+struct BenchResult {
+  bool ok = false;
+  std::string text;   // raw report JSON when ok
+  std::string error;  // diagnostic when !ok
 };
 
 void usage(const char* argv0) {
@@ -101,44 +114,61 @@ int main(int argc, char** argv) {
   const fs::path report_dir =
       out_path.has_parent_path() ? out_path.parent_path() : fs::path(".");
 
+  // Run every bench as one pool task (the bench itself is a child process,
+  // so tasks block in std::system and the pool size caps how many benches
+  // run at once).  Each task only touches its own slot; diagnostics are
+  // buffered there too and printed in declared order below, so output and
+  // suite bytes never depend on completion order.
+  std::vector<BenchResult> slots(names.size());
+  hyperpath::par::parallel_for_chunks(
+      0, names.size(), /*grain=*/1,
+      [&](std::size_t, std::size_t lo, std::size_t hi, int) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::string& name = names[i];
+          BenchResult& slot = slots[i];
+          const fs::path bin = bench_dir / ("bench_" + name);
+          const fs::path report = report_dir / ("BENCH_" + name + ".json");
+          if (!fs::exists(bin)) {
+            slot.error = "missing binary " + bin.string();
+            continue;
+          }
+          const std::string cmd = "\"" + bin.string() + "\" --json \"" +
+                                  report.string() +
+                                  "\" --benchmark_filter=NONE > /dev/null 2>&1";
+          std::printf("bench_runner: running bench_%s ...\n", name.c_str());
+          std::fflush(stdout);
+          const int rc = std::system(cmd.c_str());
+          if (rc != 0) {
+            slot.error =
+                "bench_" + name + " exited with status " + std::to_string(rc);
+            continue;
+          }
+          std::ifstream in(report);
+          std::stringstream buf;
+          buf << in.rdbuf();
+          std::string text = buf.str();
+          hyperpath::obs::JsonParseError err;
+          const auto parsed = hyperpath::obs::json_parse(text, &err);
+          if (!parsed || !parsed->find("experiment")) {
+            slot.error = "bench_" + name +
+                         " produced an invalid report (offset " +
+                         std::to_string(err.offset) + ": " + err.message + ")";
+            continue;
+          }
+          slot.ok = true;
+          slot.text = std::move(text);
+        }
+      });
+
   int failures = 0;
   std::vector<std::pair<std::string, std::string>> reports;  // name -> raw
-  for (const std::string& name : names) {
-    const fs::path bin = bench_dir / ("bench_" + name);
-    const fs::path report = report_dir / ("BENCH_" + name + ".json");
-    if (!fs::exists(bin)) {
-      std::fprintf(stderr, "bench_runner: missing binary %s\n",
-                   bin.string().c_str());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!slots[i].ok) {
+      std::fprintf(stderr, "bench_runner: %s\n", slots[i].error.c_str());
       ++failures;
       continue;
     }
-    const std::string cmd = "\"" + bin.string() + "\" --json \"" +
-                            report.string() +
-                            "\" --benchmark_filter=NONE > /dev/null 2>&1";
-    std::printf("bench_runner: running bench_%s ...\n", name.c_str());
-    std::fflush(stdout);
-    const int rc = std::system(cmd.c_str());
-    if (rc != 0) {
-      std::fprintf(stderr, "bench_runner: bench_%s exited with status %d\n",
-                   name.c_str(), rc);
-      ++failures;
-      continue;
-    }
-    std::ifstream in(report);
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();
-    hyperpath::obs::JsonParseError err;
-    const auto parsed = hyperpath::obs::json_parse(text, &err);
-    if (!parsed || !parsed->find("experiment")) {
-      std::fprintf(stderr,
-                   "bench_runner: bench_%s produced an invalid report "
-                   "(offset %zu: %s)\n",
-                   name.c_str(), err.offset, err.message.c_str());
-      ++failures;
-      continue;
-    }
-    reports.emplace_back(name, text);
+    reports.emplace_back(names[i], std::move(slots[i].text));
   }
 
   hyperpath::obs::JsonWriter w;

@@ -9,6 +9,11 @@
 //   hyperpath_cli faults replay <schedule-file> [...]   timed-fault replay
 //   hyperpath_cli trace <cycle|grid|ccc> ...  traced phase simulation
 //
+// The global `--threads N` (or `--threads=N`) flag, accepted anywhere on
+// the command line, sizes the process-wide par::TaskPool — overriding the
+// HYPERPATH_THREADS environment variable — and thereby every parallel
+// construction/verification pass and the parallel simulator's default.
+//
 // `faults replay` parses a FaultSchedule text file (see
 // sim/faults.hpp: `dims N` header, then `<step> link-down|link-up|
 // node-down|node-up <u> [<v>]` lines) and replays one Theorem 1 cycle
@@ -50,6 +55,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "par/task_pool.hpp"
 #include "sim/faults.hpp"
 #include "sim/phase.hpp"
 #include "sim/recovery.hpp"
@@ -355,6 +361,7 @@ void write_trace_json(const std::string& path, const char* kind,
   w.field("experiment", std::string("trace_") + kind);
   w.key("params").begin_object();
   for (const auto& [k, v] : params) w.field(k, v);
+  w.field("threads", par::global_threads());
   w.field("trace_file", sink.path());
   w.end_object();
   w.key("metrics").begin_object();
@@ -541,9 +548,33 @@ int cmd_trace(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace hyperpath;
+
+  // Strip the global --threads flag (valid anywhere) before dispatch so
+  // subcommand parsers never see it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    int threads = 0;
+    if (a == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (a.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(a.c_str() + 10);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (threads <= 0) {
+      std::fprintf(stderr, "--threads requires a positive integer\n");
+      return 1;
+    }
+    par::set_global_threads(threads);
+  }
+  argc = out;
+
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s cycle|grid|ccc|decomp|moments|faults|trace ...\n",
+                 "usage: %s [--threads N] "
+                 "cycle|grid|ccc|decomp|moments|faults|trace ...\n",
                  argv[0]);
     return 1;
   }
