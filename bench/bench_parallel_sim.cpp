@@ -3,8 +3,12 @@
 // Not a paper experiment — this measures the simulator itself: the sharded
 // parallel store-and-forward simulator must match the serial one bit for
 // bit (tests enforce that) and should win wall-clock on large phases.  The
-// table also measures tracing overhead: a traced run (ring-buffer sink)
-// against the untraced baseline, and confirms makespans agree.
+// table also measures tracing overhead: a traced run (flight recorder
+// assembling per-packet records in-line) against the untraced baseline,
+// and confirms makespans agree.  Flight-record summaries (queue-wait
+// percentiles, critical-path length) are exported as exact gated metrics —
+// traced parallel runs are bit-identical to serial, so every one of them
+// is thread-count invariant.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -12,6 +16,8 @@
 
 #include "bench/table.hpp"
 #include "core/cycle_multipath.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight.hpp"
 #include "sim/parallel_sim.hpp"
 #include "sim/phase.hpp"
 
@@ -39,19 +45,25 @@ void print_table(bench::Report& report) {
     ParallelStoreForwardSim parallel(n, 4);
 
     SimResult rs, rp, rt;
-    obs::RingBufferSink ring;
+    obs::FlightRecorder rec;
     obs::ScopedTimer timer("simulate");
     const double s_serial = seconds_of([&] { rs = serial.run(packets); });
     const double s_par = seconds_of([&] { rp = parallel.run(packets); });
     const double s_traced = seconds_of([&] {
-      rt = serial.run(packets, Arbitration::kFifo, 1 << 22, &ring);
+      rt = serial.run(packets, Arbitration::kFifo, 1 << 22, &rec);
     });
     if (rs.makespan != rp.makespan || rs.makespan != rt.makespan) {
       std::fprintf(stderr, "FATAL: simulator variants disagree on n=%d\n", n);
       std::exit(1);
     }
+    const obs::TraceAnalysis a = obs::analyze_flights(rec);
+    if (a.makespan != rt.makespan || a.delivered != rt.latency.count() ||
+        a.inconsistencies != 0 || a.depth_mismatches != 0) {
+      std::fprintf(stderr, "FATAL: flight records disagree on n=%d\n", n);
+      std::exit(1);
+    }
     t.row(n, packets.size(), rs.makespan, s_serial * 1e3, s_par * 1e3,
-          s_serial / s_par, s_traced * 1e3, ring.total());
+          s_serial / s_par, s_traced * 1e3, rec.events_seen());
     // Wall-clock goes into the timings section (compared only with an
     // explicit --timing-tol), never into metrics: the bench_compare CI
     // gate holds metrics to exact equality, which only deterministic
@@ -60,8 +72,15 @@ void print_table(bench::Report& report) {
     reg.record_span("serial_n" + std::to_string(n), s_serial);
     reg.record_span("parallel_n" + std::to_string(n), s_par);
     reg.record_span("traced_n" + std::to_string(n), s_traced);
-    report.metric("makespan_n" + std::to_string(n), rs.makespan);
-    report.metric("trace_events_n" + std::to_string(n), ring.total());
+    const std::string suffix = "_n" + std::to_string(n);
+    report.metric("makespan" + suffix, rs.makespan);
+    report.metric("trace_events" + suffix, rec.events_seen());
+    report.metric("queue_wait_p50" + suffix, a.queue_wait.quantile(0.5));
+    report.metric("queue_wait_p99" + suffix, a.queue_wait.quantile(0.99));
+    report.metric("critical_path" + suffix, a.critical_path.length());
+    report.metric("critical_path_handoffs" + suffix,
+                  a.critical_path.handoffs);
+    report.metric("peak_congestion" + suffix, a.peak_congestion);
   }
   t.print();
   report.param("threads", 4);

@@ -15,6 +15,8 @@
 #include "bench/table.hpp"
 #include "core/cycle_multipath.hpp"
 #include "embed/classical.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight.hpp"
 #include "sim/recovery.hpp"
 
 namespace hyperpath {
@@ -81,22 +83,34 @@ void print_table(bench::Report& report) {
                   "retransmits", "rec lat mean", "rec lat max", "goodput",
                   "makespan"});
   const auto run_one = [&](const char* name, const MultiPathEmbedding& emb,
-                           int threshold) {
+                           int threshold, obs::TraceSink* sink = nullptr) {
     RecoveryConfig c = cfg;
     c.threshold = threshold;
     obs::ScopedTimer timer("simulate");
-    const RecoveryResult r = run_recovery(emb, schedule, c);
+    const RecoveryResult r = run_recovery(emb, schedule, c, sink);
     t.row(name, emb.width(), r.messages_total, r.messages_complete,
           r.delivery_rate(), r.retransmissions, r.recovery_latency.mean(),
           r.recovery_latency.max(), r.goodput(), r.makespan);
     return r;
   };
 
-  // Theorem 1 with IDA dispersal (any w-1 of w fragments reconstruct).
-  const RecoveryResult multi_r = run_one("theorem1+ida", multi, w - 1);
+  // Theorem 1 with IDA dispersal (any w-1 of w fragments reconstruct).  A
+  // flight recorder rides along: the fault/retransmit chains and re-release
+  // generations it reconstructs must agree with the recovery engine.
+  obs::FlightRecorder rec;
+  const RecoveryResult multi_r = run_one("theorem1+ida", multi, w - 1, &rec);
   // Gray code: one path, one fragment, nowhere to fail over to.
   const RecoveryResult gray_r = run_one("gray", gray, 0);
   t.print();
+
+  const obs::TraceAnalysis fa = obs::analyze_flights(rec);
+  if (fa.makespan != multi_r.makespan ||
+      fa.retransmissions != multi_r.retransmissions ||
+      fa.inconsistencies != 0 || fa.depth_mismatches != 0) {
+    std::fprintf(stderr,
+                 "FATAL: flight records disagree with recovery result\n");
+    std::exit(1);
+  }
 
   std::printf("schedule: %zu timed link faults; theorem1 recovery: %zu/%zu "
               "messages needed failover, worst %g steps\n\n",
@@ -118,6 +132,16 @@ void print_table(bench::Report& report) {
   report.metric("multi_goodput", multi_r.goodput());
   report.metric("multi_makespan", multi_r.makespan);
   report.metric("multi_waves", multi_r.waves);
+  report.metric("multi_flight_makespan", fa.makespan);
+  report.metric("multi_flight_retransmits", fa.retransmissions);
+  report.metric("multi_flight_dropped", fa.dropped);
+  report.metric("multi_flight_faults", fa.faults);
+  report.metric("multi_flight_max_generation",
+                static_cast<std::uint64_t>(rec.max_generation()));
+  report.metric("multi_queue_wait_p50", fa.queue_wait.quantile(0.5));
+  report.metric("multi_queue_wait_p99", fa.queue_wait.quantile(0.99));
+  report.metric("multi_critical_path", fa.critical_path.length());
+  report.metric("multi_peak_congestion", fa.peak_congestion);
   report.metric("gray_delivery_rate", gray_r.delivery_rate());
   report.metric("gray_messages_complete", gray_r.messages_complete);
   report.metric("gray_messages_lost",

@@ -19,6 +19,28 @@ int lemma3_max_cost3_packets(int n) {
   return n / 2;
 }
 
+PhaseCongestionBounds phase_congestion_bounds(const MultiPathEmbedding& emb,
+                                              int packets_per_edge) {
+  HP_CHECK(packets_per_edge >= 1, "need at least one packet per edge");
+  PhaseCongestionBounds b;
+  const Hypercube& host = emb.host();
+  for (std::size_t e = 0; e < emb.guest().num_edges(); ++e) {
+    const auto bundle = emb.paths(e);
+    HP_CHECK(!bundle.empty(), "guest edge without paths");
+    const HostPath& any = bundle.front();
+    b.demand_edges += static_cast<std::int64_t>(packets_per_edge) *
+                      host.distance(any.front(), any.back());
+  }
+  const auto links = static_cast<std::int64_t>(host.num_directed_edges());
+  b.floor = (b.demand_edges + links - 1) / links;
+  const int width = emb.width();
+  HP_CHECK(width >= 1, "embedding has empty bundles");
+  const std::int64_t per_path =
+      (packets_per_edge + width - 1) / width;  // ⌈p / w⌉ via round-robin
+  b.ceiling = static_cast<std::int64_t>(emb.congestion()) * per_path;
+  return b;
+}
+
 std::int64_t edge_slot_slack(const MultiPathEmbedding& emb, int cost) {
   HP_CHECK(cost >= 1, "cost must be positive");
   std::int64_t used = 0;

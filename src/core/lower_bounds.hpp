@@ -31,4 +31,34 @@ int lemma3_max_cost3_packets(int n);
 /// slack (available − used); negative would disprove the claimed cost.
 std::int64_t edge_slot_slack(const MultiPathEmbedding& emb, int cost);
 
+/// Analytic bracket on the *measured* edge congestion of a phase workload:
+/// p packets per guest edge, round-robined over each bundle (sim/phase.hpp),
+/// counted as transmissions per directed host link.
+///
+///   floor    — averaging/demand bound in the Rajan et al. style: every
+///              routing of the phase traffic, on any paths whatsoever, must
+///              move p·dist(η(u), η(v)) link crossings per guest edge, so
+///              some directed link carries at least ⌈total demand / #links⌉.
+///   ceiling  — what the construction guarantees: each bundle is edge-
+///              disjoint (≤1 of its paths on any link) and round-robin puts
+///              at most ⌈p / w⌉ packets on one path, so a link used by c
+///              bundles carries at most congestion · ⌈p / w⌉ packets.
+///
+/// A simulated phase whose measured peak falls outside [floor, ceiling]
+/// has a routing or accounting bug; trace-driven measurements are checked
+/// against this bracket in tests and benches.
+struct PhaseCongestionBounds {
+  std::int64_t floor = 0;
+  std::int64_t ceiling = 0;
+  /// Total demand: Σ_e p · dist(η(u), η(v)) directed-link crossings.
+  std::int64_t demand_edges = 0;
+
+  bool contains(std::int64_t measured) const {
+    return floor <= measured && measured <= ceiling;
+  }
+};
+
+PhaseCongestionBounds phase_congestion_bounds(const MultiPathEmbedding& emb,
+                                              int packets_per_edge);
+
 }  // namespace hyperpath

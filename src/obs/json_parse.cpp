@@ -335,4 +335,43 @@ std::optional<JsonValue> json_parse_file(const std::string& path,
   return json_parse(text, error);
 }
 
+JsonlReader::JsonlReader(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb")) {
+  if (!file_) error_ = {0, "cannot open " + path};
+}
+
+JsonlReader::~JsonlReader() {
+  if (file_) std::fclose(file_);
+}
+
+bool JsonlReader::next(JsonValue* out) {
+  if (!file_ || failed()) return false;
+  buf_.clear();
+  int c;
+  while (true) {
+    // Read one line (the current record); skip it entirely if blank.
+    while ((c = std::fgetc(file_)) != EOF && c != '\n') {
+      buf_ += static_cast<char>(c);
+    }
+    ++line_;
+    if (!buf_.empty() && buf_.back() == '\r') buf_.pop_back();
+    const bool blank =
+        buf_.find_first_not_of(" \t") == std::string::npos;
+    if (!blank) break;
+    if (c == EOF) return false;  // clean EOF
+    buf_.clear();
+  }
+  JsonParseError err;
+  auto v = json_parse(buf_, &err);
+  if (!v) {
+    // Report the line number where callers expect a position; the byte
+    // offset within the line rides along in the message.
+    error_ = {line_, "line " + std::to_string(line_) + ", offset " +
+                         std::to_string(err.offset) + ": " + err.message};
+    return false;
+  }
+  *out = std::move(*v);
+  return true;
+}
+
 }  // namespace hyperpath::obs

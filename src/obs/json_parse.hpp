@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <optional>
@@ -80,5 +81,39 @@ std::optional<JsonValue> json_parse(std::string_view text,
 /// Reads and parses a whole file; nullopt on I/O or parse failure.
 std::optional<JsonValue> json_parse_file(const std::string& path,
                                          JsonParseError* error = nullptr);
+
+/// Streaming JSONL (one JSON document per line) reader.  Iterates records
+/// without buffering the whole file — trace files reach hundreds of MB —
+/// holding only the current line in memory.  Blank lines are skipped;
+/// trailing data after the document on a line is a parse error.  Errors
+/// carry the 1-based line number of the offending line.
+class JsonlReader {
+ public:
+  explicit JsonlReader(const std::string& path);
+  JsonlReader(const JsonlReader&) = delete;
+  JsonlReader& operator=(const JsonlReader&) = delete;
+  ~JsonlReader();
+
+  /// False when the file could not be opened (error() says why).
+  bool ok() const { return file_ != nullptr && error_.message.empty(); }
+
+  /// Parses the next non-blank line into `out`.  Returns false at
+  /// end-of-file or on a malformed line; the two are distinguished by
+  /// failed(): a parse failure sets error() (with line()) and poisons the
+  /// reader, clean EOF does not.
+  bool next(JsonValue* out);
+
+  /// 1-based number of the line most recently returned by next() (or, after
+  /// a failure, of the malformed line).
+  std::size_t line() const { return line_; }
+  bool failed() const { return !error_.message.empty(); }
+  const JsonParseError& error() const { return error_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string buf_;
+  std::size_t line_ = 0;
+  JsonParseError error_;
+};
 
 }  // namespace hyperpath::obs

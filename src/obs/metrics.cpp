@@ -31,6 +31,26 @@ void FixedHistogram::observe(double v) {
   max_ = std::max(max_, v);
 }
 
+double FixedHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  double cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (rank <= next) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = i < bounds_.size() ? bounds_[i] : max_;
+      if (upper <= lower) return std::min(upper, max_);
+      const double frac = (rank - cum) / (next - cum);
+      return std::min(lower + (upper - lower) * frac, max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
 void FixedHistogram::write_json(JsonWriter& w) const {
   w.begin_object();
   w.field("count", count_);

@@ -69,6 +69,16 @@ class FixedHistogram {
   double sum() const { return sum_; }
   double mean() const { return count_ ? sum_ / count_ : 0.0; }
   double max() const { return max_; }
+
+  /// Quantile estimate by linear interpolation within buckets: bucket i
+  /// covers (lower, bounds()[i]] with lower = 0 for the first bucket, and
+  /// ranks spread uniformly inside it.  Exact at bucket edges — a rank
+  /// landing on a bucket's cumulative count returns that bucket's upper
+  /// bound — and the overflow bucket interpolates up to max(), so
+  /// quantile(1) == max() whenever the largest sample overflowed the
+  /// bounds.  The result never exceeds max().  `q` is clamped to [0, 1];
+  /// an empty histogram yields 0.
+  double quantile(double q) const;
   const std::vector<double>& bounds() const { return bounds_; }
   /// counts().size() == bounds().size() + 1 (last = overflow).
   const std::vector<std::uint64_t>& counts() const { return counts_; }

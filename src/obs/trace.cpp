@@ -24,6 +24,18 @@ const char* to_string(TraceEventKind kind) {
   return "unknown";
 }
 
+bool trace_event_kind_from_string(std::string_view name,
+                                  TraceEventKind* out) {
+  for (std::size_t i = 0; i < kNumTraceEventKinds; ++i) {
+    const auto kind = static_cast<TraceEventKind>(i);
+    if (name == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 RingBufferSink::RingBufferSink(std::size_t capacity)
     : ring_(std::max<std::size_t>(capacity, 1)) {}
 
@@ -71,6 +83,12 @@ void JsonlFileSink::on_events(std::span<const TraceEvent> events) {
                  static_cast<unsigned long long>(e.value));
     ++total_;
   }
+}
+
+void JsonlFileSink::write_meta(int dims, std::uint64_t packets) {
+  HP_CHECK(total_ == 0, "trace meta must precede every event");
+  std::fprintf(file_, "{\"kind\":\"meta\",\"dims\":%d,\"packets\":%llu}\n",
+               dims, static_cast<unsigned long long>(packets));
 }
 
 void JsonlFileSink::flush() { std::fflush(file_); }

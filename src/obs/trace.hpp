@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hyperpath::obs {
@@ -55,6 +56,10 @@ inline constexpr std::size_t kNumTraceEventKinds = 11;
 
 /// Stable lowercase name used in the JSONL encoding.
 const char* to_string(TraceEventKind kind);
+
+/// Inverse of to_string (the JSONL decode side).  False when `name` is not
+/// a known kind; `out` is untouched then.
+bool trace_event_kind_from_string(std::string_view name, TraceEventKind* out);
 
 struct TraceEvent {
   static constexpr std::uint32_t kNoPacket = 0xffffffffu;
@@ -130,6 +135,13 @@ class JsonlFileSink final : public TraceSink {
 
   void on_events(std::span<const TraceEvent> events) override;
   void flush() override;
+
+  /// Optional header line `{"kind":"meta","dims":N,"packets":M}` carrying
+  /// run parameters the event stream cannot encode (the host dimension in
+  /// particular — dense link ids are only decodable knowing n).  Call once,
+  /// before any event is written; readers treat the line as metadata, not
+  /// an event.
+  void write_meta(int dims, std::uint64_t packets);
 
   std::uint64_t total() const { return total_; }
   const std::string& path() const { return path_; }

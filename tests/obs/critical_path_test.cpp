@@ -1,0 +1,149 @@
+// Tests for causal critical-path extraction (src/obs/critical_path.hpp):
+// blocker resolution, chain-length == makespan on phase workloads, the
+// queue-depth cross-check, and the Theorem 1 congestion acceptance bounds.
+#include "obs/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cycle_multipath.hpp"
+#include "core/lower_bounds.hpp"
+#include "sim/phase.hpp"
+#include "sim/store_forward.hpp"
+
+namespace hyperpath {
+namespace {
+
+using obs::FlightRecorder;
+using obs::TraceEvent;
+using obs::TraceEventKind;
+using obs::TransmitIndex;
+
+constexpr auto kNoPkt = TraceEvent::kNoPacket;
+constexpr auto kNoLink = TraceEvent::kNoLink;
+
+FlightRecorder contention_trace() {
+  // Packets 0 and 1 both queue on link 5 at step 0; FIFO serves 0 first.
+  FlightRecorder rec;
+  rec.add({0, TraceEventKind::kRelease, 0, 5, 0});
+  rec.add({0, TraceEventKind::kRelease, 1, 5, 0});
+  rec.add({0, TraceEventKind::kQueueDepth, kNoPkt, 5, 2});
+  rec.add({0, TraceEventKind::kTransmit, 0, 5, 2});
+  rec.add({0, TraceEventKind::kArrive, 0, kNoLink, 1});
+  rec.add({1, TraceEventKind::kTransmit, 1, 5, 1});
+  rec.add({1, TraceEventKind::kArrive, 1, kNoLink, 2});
+  return rec;
+}
+
+TEST(TransmitIndex, ResolvesWhoCrossedALinkAtAStep) {
+  const FlightRecorder rec = contention_trace();
+  const TransmitIndex index(rec);
+  const auto r0 = index.at(5, 0);
+  ASSERT_TRUE(r0.valid());
+  EXPECT_EQ(rec.records()[r0.flight].packet, 0u);
+  const auto r1 = index.at(5, 1);
+  ASSERT_TRUE(r1.valid());
+  EXPECT_EQ(rec.records()[r1.flight].packet, 1u);
+  EXPECT_FALSE(index.at(5, 2).valid());
+  EXPECT_FALSE(index.at(6, 0).valid());
+}
+
+TEST(CriticalPath, BlockedHopHandsOffToItsProximateBlocker) {
+  const FlightRecorder rec = contention_trace();
+  const TransmitIndex index(rec);
+  const auto chain =
+      obs::extract_critical_path(rec, index, obs::makespan_terminal(rec));
+  // Packet 1 set the makespan; it waited one step behind packet 0's
+  // transmit, so the chain is p0@0 -> p1@1 with one blocking handoff.
+  ASSERT_EQ(chain.nodes.size(), 2u);
+  EXPECT_EQ(chain.nodes[0].packet, 0u);
+  EXPECT_EQ(chain.nodes[0].step, 0);
+  EXPECT_TRUE(chain.nodes[0].blocks_successor);
+  EXPECT_EQ(chain.nodes[1].packet, 1u);
+  EXPECT_EQ(chain.nodes[1].step, 1);
+  EXPECT_EQ(chain.handoffs, 1);
+  EXPECT_EQ(chain.length(), rec.makespan());
+}
+
+TEST(CriticalPath, DropTerminatedChainStillSpansTheMakespan) {
+  FlightRecorder rec;
+  rec.add({0, TraceEventKind::kRelease, 0, 2, 0});
+  rec.add({0, TraceEventKind::kTransmit, 0, 2, 1});
+  rec.add({1, TraceEventKind::kFault, kNoPkt, 7, 0});
+  rec.add({1, TraceEventKind::kDrop, 0, 7, 1});
+  const TransmitIndex index(rec);
+  const auto chain =
+      obs::extract_critical_path(rec, index, obs::makespan_terminal(rec));
+  EXPECT_EQ(chain.length(), rec.makespan());
+  ASSERT_FALSE(chain.nodes.empty());
+  // The chain ends at the truncation, on the dead link.
+  EXPECT_EQ(chain.nodes.back().link, 7u);
+  EXPECT_EQ(chain.nodes.back().step, 1);
+}
+
+TEST(CriticalPath, ChainLengthEqualsMakespanOnPhaseWorkloads) {
+  for (int n : {6, 8}) {
+    const auto emb = theorem1_cycle_embedding(n);
+    for (int p : {n / 2, n, 2 * n}) {
+      FlightRecorder rec;
+      const auto r = measure_phase_cost(emb, p, Arbitration::kFifo, &rec);
+      const auto a = obs::analyze_flights(rec);
+      // Phase packets all release at step 0, so the backward walk roots at
+      // a step-0 release and the chain must span the whole run.
+      EXPECT_EQ(a.critical_path.length(), r.makespan) << n << "/" << p;
+      EXPECT_EQ(a.critical_path.start_step, 0) << n << "/" << p;
+      EXPECT_EQ(a.depth_mismatches, 0u) << n << "/" << p;
+      EXPECT_EQ(a.inconsistencies, 0u) << n << "/" << p;
+    }
+  }
+}
+
+TEST(CongestionBounds, FloorNeverExceedsCeiling) {
+  for (int n : {6, 8, 10}) {
+    const auto emb = theorem1_cycle_embedding(n);
+    for (int p : {1, n / 2, n}) {
+      const auto b = phase_congestion_bounds(emb, p);
+      EXPECT_GE(b.floor, 1) << n << "/" << p;
+      EXPECT_LE(b.floor, b.ceiling) << n << "/" << p;
+      EXPECT_FALSE(b.contains(b.floor - 1)) << n << "/" << p;
+      EXPECT_TRUE(b.contains(b.floor)) << n << "/" << p;
+      EXPECT_TRUE(b.contains(b.ceiling)) << n << "/" << p;
+      EXPECT_FALSE(b.contains(b.ceiling + 1)) << n << "/" << p;
+    }
+  }
+}
+
+TEST(CongestionBounds, MeasuredPhaseCongestionSitsInsideTheBounds) {
+  for (int n : {6, 8}) {
+    const auto emb = theorem1_cycle_embedding(n);
+    const int p = n / 2;
+    FlightRecorder rec;
+    measure_phase_cost(emb, p, Arbitration::kFifo, &rec);
+    const auto a = obs::analyze_flights(rec);
+    const auto b = phase_congestion_bounds(emb, p);
+    EXPECT_TRUE(b.contains(static_cast<std::int64_t>(a.peak_congestion)))
+        << "n=" << n << " peak=" << a.peak_congestion << " not in ["
+        << b.floor << ", " << b.ceiling << "]";
+  }
+}
+
+// Acceptance: the Q_16 Theorem 1 phase's measured per-link congestion lies
+// between the analytic demand floor and the construction ceiling.
+TEST(CongestionBounds, Q16Theorem1PhaseWithinAnalyticBounds) {
+  const int n = 16;
+  const int p = n / 2;
+  const auto emb = theorem1_cycle_embedding(n);
+  FlightRecorder rec;
+  const auto r = measure_phase_cost(emb, p, Arbitration::kFifo, &rec);
+  const auto a = obs::analyze_flights(rec);
+  const auto b = phase_congestion_bounds(emb, p);
+  EXPECT_EQ(a.makespan, r.makespan);
+  EXPECT_EQ(a.transmissions, r.total_transmissions);
+  EXPECT_EQ(a.depth_mismatches, 0u);
+  EXPECT_TRUE(b.contains(static_cast<std::int64_t>(a.peak_congestion)))
+      << "peak=" << a.peak_congestion << " not in [" << b.floor << ", "
+      << b.ceiling << "]";
+  EXPECT_EQ(a.critical_path.length(), r.makespan);
+}
+
+}  // namespace
+}  // namespace hyperpath

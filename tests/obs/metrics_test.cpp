@@ -1,0 +1,93 @@
+// Tests for FixedHistogram::quantile: bucket-edge exactness, linear
+// interpolation inside buckets, overflow-bucket behavior, clamping, and
+// monotonicity.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hyperpath {
+namespace {
+
+using obs::FixedHistogram;
+
+TEST(HistogramQuantile, EmptyHistogramYieldsZero) {
+  FixedHistogram h({1, 2, 4});
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantile, QIsClampedToUnitInterval) {
+  FixedHistogram h({10});
+  h.observe(5);
+  EXPECT_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantile, ExactAtBucketEdges) {
+  // 4 samples in (0,1], 4 in (1,2]: rank q=0.5 lands exactly on the first
+  // bucket's cumulative count, so the estimate is its upper bound.
+  FixedHistogram h({1, 2, 4});
+  for (int i = 0; i < 4; ++i) h.observe(1.0);
+  for (int i = 0; i < 4; ++i) h.observe(2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(HistogramQuantile, InterpolatesLinearlyWithinABucket) {
+  // 10 samples, all in (0,10] with max landing on the bound: quantile(q)
+  // interpolates to 10q.
+  FixedHistogram h({10});
+  for (int i = 1; i <= 10; ++i) h.observe(i);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 9.9);
+}
+
+TEST(HistogramQuantile, OverflowBucketInterpolatesUpToMax) {
+  FixedHistogram h({1, 2});
+  h.observe(0.5);
+  h.observe(100);  // overflow: bucket (2, max()]
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // Halfway into the overflow bucket's rank range sits between the last
+  // bound and max, never beyond max.
+  const double q75 = h.quantile(0.75);
+  EXPECT_GE(q75, 2.0);
+  EXPECT_LE(q75, 100.0);
+}
+
+TEST(HistogramQuantile, NeverExceedsMax) {
+  // The only sample sits well below its bucket's upper bound; the estimate
+  // is capped at max() rather than interpolating past the real data.
+  FixedHistogram h({1024});
+  h.observe(3);
+  EXPECT_LE(h.quantile(1.0), 3.0);
+  EXPECT_LE(h.quantile(0.999), 3.0);
+}
+
+TEST(HistogramQuantile, MonotoneInQ) {
+  FixedHistogram h = FixedHistogram::exponential();
+  for (int i = 1; i <= 1000; ++i) h.observe(i % 97);
+  double prev = -1;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramQuantile, SingleSample) {
+  FixedHistogram h({1, 2, 4});
+  h.observe(3);
+  // One sample in (2,4]: every q interpolates inside that bucket, capped
+  // by max() == 3.
+  EXPECT_GT(h.quantile(0.5), 2.0);
+  EXPECT_LE(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -4,16 +4,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "base/rng.hpp"
 #include "core/cycle_multipath.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "sim/faults.hpp"
 #include "sim/parallel_sim.hpp"
 #include "sim/phase.hpp"
+#include "sim/recovery.hpp"
 #include "sim/store_forward.hpp"
 #include "sim/workloads.hpp"
 #include "sim/wormhole.hpp"
@@ -203,6 +208,97 @@ TEST(JsonlSink, WritesOneParseableLinePerEvent) {
   EXPECT_EQ(lines, written);
   EXPECT_EQ(transmits, expected_tx);
   std::remove(path.c_str());
+}
+
+TEST(FaultTraceInterleaving, FaultRepairAndDropShareAStep) {
+  // One packet 0 -> 1 -> 3 on Q_3.  A transient fault elsewhere is
+  // repaired at step 1, the same step a new fault cuts the packet's next
+  // link: the step carries kDrop, kFault, and kRepair together, in
+  // canonical kind order.
+  const int dims = 3;
+  const Hypercube q(dims);
+  std::vector<Packet> ps(1);
+  ps[0].route = ecube_route(q, 0, 3);
+  FaultSchedule schedule(dims);
+  schedule.link_down(1, 1, 3);
+  schedule.transient_link(0, 1, 4, q.neighbor(4, 0));
+  RingBufferSink sink;
+  const auto fr = StoreForwardSim(dims).run_with_faults(
+      ps, schedule, Arbitration::kFifo, 1 << 22, &sink);
+  EXPECT_EQ(fr.delivered, 0u);
+  EXPECT_EQ(fr.lost, 1u);
+
+  std::vector<TraceEventKind> step1;
+  for (const auto& e : sink.events()) {
+    if (e.step == 1) step1.push_back(e.kind);
+  }
+  const auto count = [&](TraceEventKind k) {
+    std::size_t c = 0;
+    for (auto kk : step1) c += kk == k;
+    return c;
+  };
+  EXPECT_EQ(count(TraceEventKind::kDrop), 1u);
+  EXPECT_EQ(count(TraceEventKind::kFault), 2u);   // both directions
+  EXPECT_EQ(count(TraceEventKind::kRepair), 2u);
+  EXPECT_TRUE(std::is_sorted(step1.begin(), step1.end()));
+
+  // The flight recorder digests the interleaved step without complaint and
+  // reproduces the fault-run outcome.
+  obs::FlightRecorder rec;
+  rec.on_events(sink.events());
+  EXPECT_EQ(rec.inconsistencies(), 0u) << rec.first_inconsistency();
+  EXPECT_EQ(rec.dropped(), fr.lost);
+  EXPECT_EQ(rec.delivered(), fr.delivered);
+  EXPECT_EQ(rec.makespan(), fr.sim.makespan);
+  ASSERT_EQ(rec.fault_events().size(), 6u);  // down@0 x2, down@1 x2, up@1 x2
+}
+
+TEST(FaultTraceInterleaving, RecoveryStreamMixesDropsFaultsAndRetransmits) {
+  // Faults inside the phase's active window truncate in-flight fragments
+  // at the very steps the faults fire; the recovery waves then re-release
+  // them (kRetransmit) into the same absolute clock.  The combined stream
+  // must stay digestible: one recorder, zero inconsistencies, counts that
+  // match the recovery engine's own accounting.
+  const int n = 6;
+  const auto emb = theorem1_cycle_embedding(n);
+  const Hypercube q(n);
+  FaultSchedule schedule(n);
+  schedule.link_down(1, 1, q.neighbor(1, 0));
+  schedule.link_down(1, 9, q.neighbor(9, 3));
+  schedule.link_down(2, 20, q.neighbor(20, 1));
+  RecoveryConfig cfg;
+  cfg.timeout = 4;
+  cfg.max_retries = 4;
+  cfg.threshold = 0;  // all fragments required: every loss retransmits
+  RingBufferSink sink;
+  const auto r = run_recovery(emb, schedule, cfg, &sink);
+  ASSERT_GT(r.retransmissions, 0u);
+  ASSERT_GT(r.fragments_lost, 0u);
+
+  std::set<int> fault_steps, drop_steps, retransmit_steps;
+  for (const auto& e : sink.events()) {
+    if (e.kind == TraceEventKind::kFault) fault_steps.insert(e.step);
+    if (e.kind == TraceEventKind::kDrop) drop_steps.insert(e.step);
+    if (e.kind == TraceEventKind::kRetransmit) {
+      retransmit_steps.insert(e.step);
+    }
+  }
+  // The faults fired inside the phase's active window, so at least one
+  // fault step truncated traffic *that same step* — kFault and kDrop
+  // interleave within one step of the stream.
+  bool overlap = false;
+  for (int s : fault_steps) overlap |= drop_steps.count(s) > 0;
+  EXPECT_TRUE(overlap);
+  EXPECT_FALSE(retransmit_steps.empty());
+
+  obs::FlightRecorder rec;
+  rec.on_events(sink.events());
+  EXPECT_EQ(rec.inconsistencies(), 0u) << rec.first_inconsistency();
+  EXPECT_EQ(rec.dropped(), r.fragments_lost);
+  EXPECT_EQ(rec.delivered(), r.fragments_delivered);
+  EXPECT_EQ(rec.retransmits().size(), r.retransmissions);
+  EXPECT_EQ(rec.makespan(), r.makespan);
+  EXPECT_GT(rec.max_generation(), 0u);  // waves reuse wave-local ids
 }
 
 TEST(Metrics, RegistryRoundTrip) {

@@ -8,6 +8,7 @@
 //   hyperpath_cli faults <n> <count> [seed]   fault-tolerance snapshot
 //   hyperpath_cli faults replay <schedule-file> [...]   timed-fault replay
 //   hyperpath_cli trace <cycle|grid|ccc> ...  traced phase simulation
+//   hyperpath_cli analyze <trace.jsonl> ...   offline trace analytics
 //
 // The global `--threads N` (or `--threads=N`) flag, accepted anywhere on
 // the command line, sizes the process-wide par::TaskPool — overriding the
@@ -29,18 +30,26 @@
 //   hyperpath_cli trace grid torus 16 16 [--packets p] [...]
 //   hyperpath_cli trace ccc 4 [p] [...]
 //
-// It dumps the step-level trace (default TRACE_<kind>.jsonl), prints a
+// It dumps the step-level trace (default TRACE_<kind>.jsonl, prefixed with
+// a {"kind":"meta",...} header recording the host dimension), prints a
 // per-dimension link-utilization summary plus the latency histogram, and
 // with --json writes a machine-readable {experiment, params, metrics,
 // timings} record.  The construction-phase profiler runs throughout and a
 // chrome://tracing span timeline lands in CHROME_TRACE_<kind>.json (or
 // --chrome FILE); load it at chrome://tracing or ui.perfetto.dev.
 //
+// The analyze subcommand (same driver as the standalone trace_query
+// binary, see tools/analyze_driver.hpp) consumes such a trace offline:
+// flight-record reassembly, latency percentiles, critical path, blame
+// report, queue-depth heatmap CSV and a JSON summary that reproduces the
+// SimResult makespan/delivery counts from the trace alone.
+//
 // A quick way to poke at the library without writing code.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -59,6 +68,8 @@
 #include "sim/faults.hpp"
 #include "sim/phase.hpp"
 #include "sim/recovery.hpp"
+
+#include "analyze_driver.hpp"
 
 namespace hyperpath {
 namespace {
@@ -162,7 +173,7 @@ int cmd_faults(int n, int count, std::uint64_t seed) {
 }
 
 int cmd_faults_replay(int argc, char** argv) {
-  std::string file, json_path;
+  std::string file, json_path, trace_path;
   bool json = false;
   RecoveryConfig cfg;
   int threshold = -1;  // -1 = width - 1 (IDA), resolved once width is known
@@ -174,6 +185,8 @@ int cmd_faults_replay(int argc, char** argv) {
       cfg.max_retries = std::atoi(argv[++i]);
     } else if (a == "--threshold" && i + 1 < argc) {
       threshold = std::atoi(argv[++i]);
+    } else if (a == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (a == "--json") {
       json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
@@ -182,7 +195,8 @@ int cmd_faults_replay(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: faults replay <schedule-file> [--timeout s] "
-                   "[--retries k] [--threshold m] [--json [FILE]]\n");
+                   "[--retries k] [--threshold m] [--trace FILE] "
+                   "[--json [FILE]]\n");
       return 1;
     }
   }
@@ -213,7 +227,17 @@ int cmd_faults_replay(int argc, char** argv) {
               schedule.size(), n, final_state.num_dead_directed(),
               final_state.num_dead_nodes());
 
-  const RecoveryResult r = run_recovery(emb, schedule, cfg);
+  std::unique_ptr<obs::JsonlFileSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<obs::JsonlFileSink>(trace_path);
+    trace_sink->write_meta(n, emb.guest().num_edges() * emb.width());
+  }
+  const RecoveryResult r = run_recovery(emb, schedule, cfg, trace_sink.get());
+  if (trace_sink) {
+    std::printf("trace: %llu events -> %s\n",
+                static_cast<unsigned long long>(trace_sink->total()),
+                trace_path.c_str());
+  }
   std::printf("replay: width %d, threshold %d of %d fragments, timeout %d, "
               "max retries %d\n",
               emb.width(), cfg.threshold, emb.width(), cfg.timeout,
@@ -410,15 +434,47 @@ void dump_chrome_trace(TraceOptions& opt, const char* kind) {
   }
 }
 
+void trace_help(std::FILE* out) {
+  std::fputs(
+      "usage: trace <cycle|grid|ccc> ... [options]\n"
+      "\n"
+      "  trace cycle <n> [p]            Theorem 1 phase on Q_n, p packets\n"
+      "                                 per cycle edge (default n/2)\n"
+      "  trace grid <torus|grid> <side>...   grid/torus phase\n"
+      "  trace ccc <n> [p]              Theorem 3 multicopy CCC phase\n"
+      "\n"
+      "options:\n"
+      "  --packets p, -p p    packets per guest edge\n"
+      "  --trace FILE         JSONL trace output (default "
+      "TRACE_<kind>.jsonl);\n"
+      "                       first line is a {\"kind\":\"meta\",...} header "
+      "with the\n"
+      "                       host dimension, then one event per line\n"
+      "  --json [FILE]        summary JSON (default SUMMARY_<kind>.json)\n"
+      "  --chrome FILE        chrome://tracing span timeline\n"
+      "  --threads N          global thread-pool size\n"
+      "\n"
+      "Feed the trace to `analyze` (or the standalone trace_query binary)\n"
+      "for per-packet flight records, latency percentiles per bundle path,\n"
+      "the makespan-critical blocking chain, a blame report and a\n"
+      "queue-depth heatmap:\n"
+      "\n"
+      "  hyperpath_cli trace cycle 8 --trace t.jsonl\n"
+      "  hyperpath_cli analyze t.jsonl --blame 5 --heatmap q.csv --json "
+      "s.json\n",
+      out);
+}
+
 int cmd_trace(int argc, char** argv) {
   if (argc < 1) {
-    std::fprintf(stderr,
-                 "usage: trace <cycle|grid|ccc> ... [--packets p] "
-                 "[--trace t.jsonl] [--json summary.json] "
-                 "[--chrome spans.json]\n");
+    trace_help(stderr);
     return 1;
   }
   const std::string kind = argv[0];
+  if (kind == "--help" || kind == "-h" || kind == "help") {
+    trace_help(stdout);
+    return 0;
+  }
   TraceOptions opt = parse_trace_args(argc - 1, argv + 1);
   obs::Profiler::global().set_enabled(true);
   std::vector<std::pair<std::string, double>> params;
@@ -445,6 +501,8 @@ int cmd_trace(int argc, char** argv) {
       return theorem1_cycle_embedding(n);
     }();
     obs::JsonlFileSink sink(opt.trace_path);
+    sink.write_meta(emb.host().dims(),
+                    static_cast<std::uint64_t>(emb.guest().num_edges()) * p);
     SimResult r;
     {
       obs::ScopedTimer t("simulate");
@@ -485,6 +543,8 @@ int cmd_trace(int argc, char** argv) {
       return grid_multipath_embedding(spec);
     }();
     obs::JsonlFileSink sink(opt.trace_path);
+    sink.write_meta(emb.host().dims(),
+                    static_cast<std::uint64_t>(emb.guest().num_edges()) * p);
     SimResult r;
     {
       obs::ScopedTimer t("simulate");
@@ -521,6 +581,9 @@ int cmd_trace(int argc, char** argv) {
       return ccc_multicopy_embedding(n);
     }();
     obs::JsonlFileSink sink(opt.trace_path);
+    sink.write_meta(emb.host().dims(),
+                    static_cast<std::uint64_t>(emb.guest().num_edges()) * p *
+                        emb.num_copies());
     SimResult r;
     {
       obs::ScopedTimer t("simulate");
@@ -574,7 +637,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s [--threads N] "
-                 "cycle|grid|ccc|decomp|moments|faults|trace ...\n",
+                 "cycle|grid|ccc|decomp|moments|faults|trace|analyze ...\n",
                  argv[0]);
     return 1;
   }
@@ -593,6 +656,7 @@ int main(int argc, char** argv) {
                         argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
     }
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
+    if (cmd == "analyze") return tools::run_analyze(argc - 2, argv + 2);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,19 @@
+// trace_query — offline analyzer for JSONL simulator traces.
+//
+// Streams a trace produced by obs::JsonlFileSink (e.g. `hyperpath_cli
+// trace cycle 8`), reassembles per-packet flight records, and reports
+// latency percentiles, per-link congestion, the makespan-determining
+// critical path, a slowest-packet blame report, a queue-depth heatmap CSV
+// and a machine-readable JSON summary.  See tools/analyze_driver.hpp for
+// the flag reference; `hyperpath_cli analyze` is the same driver.
+#include <cstdio>
+
+#include "analyze_driver.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    hyperpath::tools::analyze_usage(stderr);
+    return 2;
+  }
+  return hyperpath::tools::run_analyze(argc - 1, argv + 1);
+}
