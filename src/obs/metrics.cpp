@@ -31,6 +31,25 @@ void FixedHistogram::observe(double v) {
   max_ = std::max(max_, v);
 }
 
+void FixedHistogram::merge(const FixedHistogram& other) {
+  if (other.count_ == 0 && other.bounds_.empty()) return;  // nothing to add
+  if (count_ == 0 && bounds_.empty()) {
+    *this = other;
+    return;
+  }
+  HP_CHECK(bounds_ == other.bounds_,
+           "histogram merge requires identical bounds");
+  if (counts_.empty()) counts_.assign(bounds_.size() + 1, 0);
+  if (!other.counts_.empty()) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
 double FixedHistogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -115,6 +134,12 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {

@@ -79,6 +79,15 @@ class FixedHistogram {
   /// bounds.  The result never exceeds max().  `q` is clamped to [0, 1];
   /// an empty histogram yields 0.
   double quantile(double q) const;
+
+  /// Folds `other` into this histogram.  Requires identical bounds (an
+  /// empty histogram adopts the other's shape), so per-worker histograms
+  /// built from the same template combine deterministically when merged in
+  /// worker order — the telemetry reducer's contract.  Equivalent to
+  /// observing both sample multisets into one histogram: counts, count,
+  /// sum and max all add/maximize exactly.
+  void merge(const FixedHistogram& other);
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// counts().size() == bounds().size() + 1 (last = overflow).
   const std::vector<std::uint64_t>& counts() const { return counts_; }
@@ -148,6 +157,10 @@ class MetricsRegistry {
 
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  /// Value of `name` if that counter exists, else 0 — without creating an
+  /// entry.  The telemetry sampler reads through this so sampling never
+  /// changes what a later metrics export contains.
+  std::uint64_t counter_value(const std::string& name) const;
   /// Creates with the given bounds on first use; later calls ignore
   /// `bounds` and return the existing histogram.
   FixedHistogram& histogram(const std::string& name,
@@ -170,6 +183,14 @@ class MetricsRegistry {
 
   /// Emits the same document into an open writer (as an object value).
   void write_json(JsonWriter& w) const;
+
+  /// The whole registry in Prometheus text exposition format (the /metrics
+  /// payload hyperpathd will serve): counters as `hyperpath_<name>_total`,
+  /// gauges verbatim, histograms as cumulative `_bucket{le=...}` series
+  /// with `_sum`/`_count`, timing spans as `_seconds_total`/`_calls_total`
+  /// counter pairs.  Names are sanitized to the Prometheus charset;
+  /// defined in telemetry.cpp next to validate_prometheus_text.
+  std::string expose_prometheus() const;
 
   /// Drops every entry (tests and repeated bench runs).
   void reset();

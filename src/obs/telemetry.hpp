@@ -1,0 +1,180 @@
+// Live telemetry: a process-wide TelemetryBus sampling running simulations.
+//
+// Everything else in the observability layer is post-hoc — traces, flight
+// records and bench reports exist only after a run finishes.  The bus is
+// the live counterpart: simulators push a gauge snapshot every
+// `period_steps` simulator steps, the bus enriches it with process-wide
+// state (work-stealing pool stats, recovery-engine counters, resident-set
+// size) and retains it in a bounded ring buffer, optionally streaming every
+// sample to a JSONL time-series file.  MetricsRegistry::expose_prometheus
+// renders the whole registry in Prometheus text exposition format — the
+// snapshot a future `hyperpathd` serves as /metrics, validated in-tree by
+// validate_prometheus_text (a promtool-shaped checker with no external
+// dependency).
+//
+// Determinism contract: sampling is driven by the *simulator step counter*,
+// never by wall-clock, and the sampler only reads simulator state — so
+// telemetry on/off and any sampling period produce bit-identical SimResults
+// and trace streams.  tests/property/telemetry_equiv_test.cpp enforces
+// this across periods {1, 7, 64} and thread counts {1, 2, 8}.
+//
+// Cost model ("lock-light"): the per-step fast path is should_sample() —
+// one relaxed atomic load plus a modulo.  The mutex inside sample() is
+// taken once per period, and only ever by the simulator's main thread plus
+// the rare snapshot() reader, so the hot loop never contends.
+//
+// Layering: obs does not depend on par.  The task pool registers a worker
+// stats provider at static-init time (task_pool.cpp), mirroring how
+// RunMetadata::set_effective_threads keeps the dependency arrow pointing
+// one way.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hyperpath::obs {
+
+/// Bucket count of the per-sample queue-depth histogram: exponential bounds
+/// 1, 2, 4, ..., 2^11 — deeper queues than 2048 land in the overflow
+/// bucket (and would mean the routing theorems failed badly anyway).
+inline constexpr int kTelemetryDepthBuckets = 12;
+
+/// A fresh histogram with the canonical per-sample depth bounds.
+FixedHistogram telemetry_depth_histogram();
+
+/// Gauges a simulator reads off its own state at end-of-step.  The values
+/// describe the queues *after* this step's arrivals, i.e. the state the
+/// next step starts from.
+struct SimTelemetry {
+  int step = -1;                     // simulator step; -1 = idle baseline
+  std::uint64_t active_links = 0;    // links with a nonempty queue
+  std::uint64_t queued_packets = 0;  // packets waiting in some queue
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t undelivered = 0;     // packets not yet at destination
+  std::uint64_t transmissions = 0;   // cumulative over the run so far
+  FixedHistogram depth_hist;         // depths of the active links
+
+  friend bool operator==(const SimTelemetry&, const SimTelemetry&) = default;
+};
+
+/// Lifetime stats of the work-stealing pool, captured by the provider the
+/// par layer registers.  Empty (all zero) when no pool exists yet.
+struct WorkerSnapshot {
+  std::uint64_t regions = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;
+  std::vector<double> busy_seconds;  // per participant, worker order
+};
+using WorkerStatsProvider = std::function<WorkerSnapshot()>;
+
+/// One ring-buffer slot: the simulator's gauges plus the process-wide state
+/// the bus sampled alongside them.
+struct TelemetrySample {
+  std::uint64_t seq = 0;
+  double wall_seconds = 0;  // since enable(); diagnostic only
+  SimTelemetry sim;
+  WorkerSnapshot par;
+  // Recovery-engine live counters (0 until a recovery run is in flight).
+  std::uint64_t fragments_delivered = 0;
+  std::uint64_t fragments_lost = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t messages_complete = 0;
+  std::uint64_t rss_kb = 0;
+};
+
+class TelemetryBus {
+ public:
+  struct Config {
+    /// Sample every `period_steps` simulator steps (step % period == 0).
+    int period_steps = 64;
+    /// Ring buffer slots retained for snapshot(); older samples are
+    /// overwritten (the JSONL stream, if any, keeps everything).
+    std::size_t ring_capacity = 1024;
+    /// Stream every sample to this JSONL file; empty = ring only.
+    std::string jsonl_path;
+  };
+
+  /// The process-wide bus.  First use reads HYPERPATH_TELEMETRY (a JSONL
+  /// path, or "ring" for ring-buffer-only) and HYPERPATH_TELEMETRY_PERIOD,
+  /// so any binary becomes telemetry-capable without a flag.
+  static TelemetryBus& global();
+
+  TelemetryBus() = default;
+  ~TelemetryBus();
+  TelemetryBus(const TelemetryBus&) = delete;
+  TelemetryBus& operator=(const TelemetryBus&) = delete;
+
+  /// (Re)starts sampling: resets the ring and sequence numbers, opens the
+  /// JSONL stream and writes its header line.
+  void enable(Config config);
+  /// Stops sampling and closes the stream.  Idempotent.
+  void disable();
+
+  bool enabled() const {
+    return period_.load(std::memory_order_relaxed) > 0;
+  }
+  int period_steps() const { return period_.load(std::memory_order_relaxed); }
+
+  /// Path of the active JSONL stream; empty when ring-only or disabled.
+  std::string jsonl_path() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return config_.jsonl_path;
+  }
+
+  /// The per-step fast path: true when the bus is enabled and `step` is a
+  /// sampling step.  One relaxed load + one modulo; no locks.
+  bool should_sample(int step) const {
+    const int p = period_.load(std::memory_order_relaxed);
+    return p > 0 && step % p == 0;
+  }
+
+  /// Records one sample: stamps seq/wall-clock, pulls pool stats, recovery
+  /// counters and RSS, stores into the ring and streams to JSONL.  Called
+  /// by the simulators' main thread; never from workers.
+  void sample(SimTelemetry&& sim);
+
+  /// Ring contents in ascending seq order (oldest retained first).
+  std::vector<TelemetrySample> snapshot() const;
+
+  /// Samples taken since the last enable() (including overwritten ones).
+  std::uint64_t total_samples() const;
+
+  /// Registered once by the par layer; replaces any previous provider.
+  static void set_worker_stats_provider(WorkerStatsProvider provider);
+
+ private:
+  void write_header_locked();
+  void write_sample_locked(const TelemetrySample& s);
+  void close_locked();
+
+  std::atomic<int> period_{0};
+  mutable std::mutex mu_;
+  Config config_;
+  std::vector<TelemetrySample> ring_;
+  std::size_t ring_next_ = 0;
+  std::uint64_t seq_ = 0;
+  std::FILE* file_ = nullptr;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+/// Current resident-set size in kB via /proc/self/statm (0 where absent).
+std::uint64_t rss_now_kb();
+
+/// Checks `text` against the Prometheus text exposition format rules that
+/// promtool enforces: metric/label name charsets, one TYPE per metric and
+/// before its samples, samples of one metric contiguous, histogram bucket
+/// counts cumulative with a +Inf bucket, no duplicate sample lines, and
+/// parseable float values (including NaN/+Inf/-Inf).  Returns true when
+/// valid; otherwise fills `error` (if given) with a line-numbered reason.
+bool validate_prometheus_text(const std::string& text,
+                              std::string* error = nullptr);
+
+}  // namespace hyperpath::obs

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/run_metadata.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hyperpath::par {
 
@@ -302,6 +303,28 @@ TaskPool& global_locked() {
   }
   return *slot;
 }
+
+// Registered at static-init time so the telemetry bus can sample pool
+// stats without obs ever depending on par (the same one-way arrow as
+// RunMetadata::set_effective_threads).  Reads the slot directly — a
+// telemetry sample must not create the pool — and only ever runs on the
+// simulator's main thread, which is also the thread that launches regions,
+// so the pool is quiescent whenever the provider reads its stats.
+const bool g_worker_stats_registered = [] {
+  obs::TelemetryBus::set_worker_stats_provider([]() -> obs::WorkerSnapshot {
+    obs::WorkerSnapshot snap;
+    std::scoped_lock lock(g_global_mu);
+    auto& slot = global_slot();
+    if (!slot) return snap;
+    TaskPool::Stats s = slot->stats();
+    snap.regions = s.regions;
+    snap.tasks = s.tasks;
+    snap.steals = s.steals;
+    snap.busy_seconds = std::move(s.busy_seconds);
+    return snap;
+  });
+  return true;
+}();
 
 }  // namespace
 

@@ -10,6 +10,7 @@
 
 #include "base/error.hpp"
 #include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
 #include "par/task_pool.hpp"
 #include "sim/faults.hpp"
 #include "sim/simcore.hpp"
@@ -211,6 +212,7 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
 
   int step = 0;
   std::vector<std::uint32_t> moved;  // merged arrivals, reused across steps
+  obs::TelemetryBus& telemetry = obs::TelemetryBus::global();
   {
   HP_PROFILE_SPAN("steps");
   while (undelivered > 0) {
@@ -338,6 +340,31 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
     }
 
     result.utilization.add(static_cast<double>(busy) / total_links);
+
+    // Telemetry sampling on the main thread, workers parked.  Each shard's
+    // active list yields its own depth histogram; shard-ordered
+    // FixedHistogram::merge makes the sample independent of the shard
+    // count and identical to the serial simulator's.
+    if (telemetry.should_sample(step)) {
+      obs::SimTelemetry t;
+      t.step = step;
+      t.undelivered = undelivered;
+      t.transmissions = result.total_transmissions;
+      t.depth_hist = obs::telemetry_depth_histogram();
+      for (const Shard& sh : shard) {
+        obs::FixedHistogram local = obs::telemetry_depth_histogram();
+        for (std::uint64_t link : sh.active) {
+          const std::uint64_t d = arena.depth(link);
+          t.queued_packets += d;
+          t.max_queue_depth = std::max(t.max_queue_depth, d);
+          local.observe(static_cast<double>(d));
+        }
+        t.active_links += sh.active.size();
+        t.depth_hist.merge(local);
+      }
+      telemetry.sample(std::move(t));
+    }
+
     trace.end_step();
     ++step;
   }

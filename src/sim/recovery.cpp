@@ -69,6 +69,18 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
   }
   result.fragments_sent = packets.size();
 
+  // Registry counters update live, per event inside the wave loop, so a
+  // telemetry sample taken while a wave simulates sees recovery progress
+  // as it happens.  Final totals are identical to the single end-of-run
+  // accumulation this replaces.  Entry addresses are stable, so the
+  // references stay valid across waves.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("recovery.messages_total").add(result.messages_total);
+  obs::Counter& live_delivered = reg.counter("recovery.fragments_delivered");
+  obs::Counter& live_lost = reg.counter("recovery.fragments_lost");
+  obs::Counter& live_retx = reg.counter("recovery.retransmissions");
+  obs::Counter& live_complete = reg.counter("recovery.messages_complete");
+
   const StoreForwardSim serial(dims);
   const ParallelStoreForwardSim parallel(dims, config.threads);
 
@@ -111,6 +123,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
       const Frag& fg = frags[i];
       const PacketFate& fate = wave.fates[i];
       ++result.fragments_delivered;
+      live_delivered.add(1);
       result.useful_transmissions +=
           static_cast<std::uint64_t>(packets[i].route.size() - 1);
       MessageState& ms = state[fg.message];
@@ -122,6 +135,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
       if (ms.delivered >= threshold[fg.message]) {
         out.complete = true;
         out.complete_step = fate.step;
+        live_complete.add(1);
       }
     }
 
@@ -135,6 +149,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
       Frag fg = frags[i];
       const PacketFate& fate = wave.fates[i];
       ++result.fragments_lost;
+      live_lost.add(1);
       MessageOutcome& out = result.messages[fg.message];
       const bool pre_completion = !out.complete || fate.step < out.complete_step;
       if (pre_completion &&
@@ -164,6 +179,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
         if (chosen < 0) continue;  // every path dead at detect time: back off
         fg.path_idx = chosen;
         ++result.retransmissions;
+        live_retx.add(1);
         ++result.fragments_sent;
         ++out.retransmissions;
         if (rtrace.enabled()) {
@@ -199,11 +215,6 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
     }
   }
 
-  auto& reg = obs::MetricsRegistry::global();
-  reg.counter("recovery.messages_total").add(result.messages_total);
-  reg.counter("recovery.messages_complete").add(result.messages_complete);
-  reg.counter("recovery.retransmissions").add(result.retransmissions);
-  reg.counter("recovery.fragments_lost").add(result.fragments_lost);
   reg.gauge("recovery.delivery_rate").set(result.delivery_rate());
   reg.gauge("recovery.goodput").set(result.goodput());
   auto& hist = reg.histogram("recovery.time_to_recover",

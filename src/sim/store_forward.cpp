@@ -5,6 +5,7 @@
 
 #include "base/error.hpp"
 #include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/faults.hpp"
 #include "sim/simcore.hpp"
 
@@ -109,6 +110,7 @@ SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
   int step = 0;
   std::size_t max_queue = 0;
   std::vector<std::uint32_t> moved;  // per-step scratch, reused across steps
+  obs::TelemetryBus& telemetry = obs::TelemetryBus::global();
   {
   HP_PROFILE_SPAN("steps");
   while (undelivered > 0) {
@@ -234,6 +236,27 @@ SimResult StoreForwardSim::run_impl(const std::vector<Packet>& packets,
     }
 
     result.utilization.add(static_cast<double>(busy) / total_links);
+
+    // Telemetry rides the step counter, reads sim state, writes nothing
+    // back: results and traces are bit-identical at any sampling period.
+    // After the sweep's compaction and the arrival enqueues, `active`
+    // holds exactly the links with nonempty queues.
+    if (telemetry.should_sample(step)) {
+      obs::SimTelemetry t;
+      t.step = step;
+      t.undelivered = undelivered;
+      t.transmissions = result.total_transmissions;
+      t.active_links = active.size();
+      t.depth_hist = obs::telemetry_depth_histogram();
+      for (std::uint64_t link : active) {
+        const std::uint64_t d = arena.depth(link);
+        t.queued_packets += d;
+        t.max_queue_depth = std::max(t.max_queue_depth, d);
+        t.depth_hist.observe(static_cast<double>(d));
+      }
+      telemetry.sample(std::move(t));
+    }
+
     trace.end_step();
     ++step;
   }

@@ -89,5 +89,59 @@ TEST(HistogramQuantile, SingleSample) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
 }
 
+TEST(HistogramMerge, EquivalentToObservingBothMultisets) {
+  // The telemetry reducer's contract: per-shard histograms built from the
+  // same template, merged in shard order, must equal one histogram that
+  // observed every sample directly — counts, count, sum, max and every
+  // quantile.
+  FixedHistogram whole = FixedHistogram::exponential(12);
+  FixedHistogram a = FixedHistogram::exponential(12);
+  FixedHistogram b = FixedHistogram::exponential(12);
+  FixedHistogram c = FixedHistogram::exponential(12);
+  for (int i = 1; i <= 300; ++i) {
+    const double v = static_cast<double>((i * 37) % 4096);
+    whole.observe(v);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).observe(v);
+  }
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a, whole);
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramMerge, EmptyAdoptsOtherShape) {
+  FixedHistogram empty;
+  FixedHistogram h({1, 2, 4});
+  h.observe(3);
+  empty.merge(h);
+  EXPECT_EQ(empty, h);
+}
+
+TEST(HistogramMerge, MergingEmptyIsANoop) {
+  FixedHistogram h({1, 2, 4});
+  h.observe(3);
+  const FixedHistogram before = h;
+  h.merge(FixedHistogram{});
+  EXPECT_EQ(h, before);
+  // An empty histogram *with* matching bounds is also a no-op.
+  h.merge(FixedHistogram({1, 2, 4}));
+  EXPECT_EQ(h, before);
+}
+
+TEST(HistogramMerge, AccumulatesCountSumAndMax) {
+  FixedHistogram a({10, 100});
+  FixedHistogram b({10, 100});
+  a.observe(5);
+  a.observe(50);
+  b.observe(500);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 555.0);
+  EXPECT_DOUBLE_EQ(a.max(), 500.0);
+  EXPECT_EQ(a.counts(), (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
 }  // namespace
 }  // namespace hyperpath

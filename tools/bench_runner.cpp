@@ -2,6 +2,15 @@
 // mode and merges their reports into one BENCH_SUITE.json.
 //
 //   bench_runner [--json [FILE]] [--bench-dir DIR] [--only a,b,c]
+//                [--history [FILE]] [--telemetry-period N]
+//
+// --history additionally appends the run to the cross-run performance
+// ledger (default bench/history/BENCH_HISTORY.jsonl): one JSONL line with
+// the run's provenance, effective thread count and telemetry sampling
+// period plus every report metric flattened to "<bench>.<metric>".
+// tools/bench_trend reads that ledger for median-based drift detection;
+// the threads/period stamps keep it from ever comparing series sampled
+// under different configurations.
 //
 // Each bench runs as `bench_<name> --json BENCH_<name>.json
 // --benchmark_filter=NONE` (tables only, no google-benchmark timings — the
@@ -29,6 +38,7 @@
 #include "obs/json.hpp"
 #include "obs/json_parse.hpp"
 #include "obs/run_metadata.hpp"
+#include "obs/trend.hpp"
 #include "par/task_pool.hpp"
 
 namespace fs = std::filesystem;
@@ -54,13 +64,21 @@ struct BenchResult {
 };
 
 void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--json [FILE]] [--bench-dir DIR] [--only a,b,c]\n"
-               "  --json [FILE]   suite output path (default BENCH_SUITE.json)\n"
-               "  --bench-dir DIR directory holding bench_<name> binaries\n"
-               "                  (default: <runner dir>/../bench)\n"
-               "  --only a,b,c    run a subset of the suite\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--json [FILE]] [--bench-dir DIR] [--only a,b,c]\n"
+      "          [--history [FILE]] [--telemetry-period N]\n"
+      "  --json [FILE]   suite output path (default BENCH_SUITE.json)\n"
+      "  --bench-dir DIR directory holding bench_<name> binaries\n"
+      "                  (default: <runner dir>/../bench)\n"
+      "  --only a,b,c    run a subset of the suite\n"
+      "  --history [FILE]\n"
+      "                  append this run to the performance ledger\n"
+      "                  (default bench/history/BENCH_HISTORY.jsonl)\n"
+      "  --telemetry-period N\n"
+      "                  stamp the ledger entry with the telemetry sampling\n"
+      "                  period the benches ran under (0 = telemetry off)\n",
+      argv0);
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -88,6 +106,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool history = false;
+  fs::path history_path = "bench/history/BENCH_HISTORY.jsonl";
+  int telemetry_period = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -98,6 +119,11 @@ int main(int argc, char** argv) {
       bench_dir = argv[++i];
     } else if (arg == "--only" && i + 1 < argc) {
       names = split_csv(argv[++i]);
+    } else if (arg == "--history") {
+      history = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') history_path = argv[++i];
+    } else if (arg == "--telemetry-period" && i + 1 < argc) {
+      telemetry_period = std::atoi(argv[++i]);
     } else {
       usage(argv[0]);
       return 2;
@@ -190,5 +216,40 @@ int main(int argc, char** argv) {
   out.close();
   std::printf("bench_runner: wrote %s (%zu/%zu reports)\n",
               out_path.string().c_str(), reports.size(), names.size());
+
+  // Ledger append: flatten the suite document just written into one
+  // "<bench>.<metric>" line and stamp the sampling configuration, so
+  // bench_trend can group comparable runs and refuse the rest.
+  if (history && failures == 0) {
+    const auto suite = hyperpath::obs::json_parse(w.str());
+    if (!suite) {
+      std::fprintf(stderr, "bench_runner: suite document failed to re-parse; "
+                           "ledger entry not written\n");
+      return 1;
+    }
+    hyperpath::obs::LedgerEntry entry =
+        hyperpath::obs::flatten_suite(*suite);
+    entry.telemetry_period_steps = telemetry_period;
+    if (history_path.has_parent_path()) {
+      std::error_code ec;
+      fs::create_directories(history_path.parent_path(), ec);
+    }
+    hyperpath::obs::JsonWriter lw;
+    hyperpath::obs::write_ledger_entry(lw, entry);
+    std::ofstream ledger(history_path, std::ios::app);
+    if (!ledger) {
+      std::fprintf(stderr, "bench_runner: cannot open ledger %s\n",
+                   history_path.string().c_str());
+      return 1;
+    }
+    ledger << lw.str() << "\n";
+    ledger.close();
+    std::printf("bench_runner: ledger +1 run (%zu metrics) -> %s\n",
+                entry.metrics.size(), history_path.string().c_str());
+  } else if (history) {
+    std::fprintf(stderr,
+                 "bench_runner: %d bench failure(s); ledger entry skipped\n",
+                 failures);
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,202 @@
+// bench_trend — cross-run drift detection over the performance ledger.
+//
+//   bench_trend [--history FILE] [--window N] [--metric-tol X]
+//               [--timing-tol X] [--expect-stable] [--json [FILE]]
+//
+// Reads the JSONL ledger bench_runner --history appends to, groups the
+// newest run with its predecessors sharing the same comparison key (host |
+// compiler | flags | threads | telemetry period — series sampled under
+// different configurations are never compared), and runs median-based step
+// detection over every "<bench>.<metric>" series plus the analytic
+// floor/ceiling bracket check on the newest run (see obs/trend.hpp).
+//
+// Metric steps and bounds violations gate; timing steps are printed but
+// informational (wall-clock noise is bench_compare's problem, not the
+// ledger's).  --expect-stable turns an unstable report — or a ledger too
+// thin to analyze (< 2 comparable runs) — into a nonzero exit, which is
+// how CI uses this binary.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/trend.hpp"
+
+namespace {
+
+using hyperpath::obs::LedgerEntry;
+using hyperpath::obs::TrendFinding;
+using hyperpath::obs::TrendOptions;
+using hyperpath::obs::TrendReport;
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--history FILE] [--window N] [--metric-tol X]\n"
+      "          [--timing-tol X] [--expect-stable] [--json [FILE]]\n"
+      "  --history FILE   ledger to analyze (default "
+      "bench/history/BENCH_HISTORY.jsonl)\n"
+      "  --window N       newest comparable runs to analyze (default 8)\n"
+      "  --metric-tol X   relative step tolerance for metrics (default 0)\n"
+      "  --timing-tol X   relative step tolerance for timings (default "
+      "0.30)\n"
+      "  --expect-stable  exit nonzero on any metric step, bounds violation\n"
+      "                   or a ledger with fewer than 2 comparable runs\n"
+      "  --json [FILE]    machine-readable report (default "
+      "TREND_REPORT.json)\n",
+      argv0);
+}
+
+void write_findings(hyperpath::obs::JsonWriter& w,
+                    const std::vector<TrendFinding>& findings) {
+  w.begin_array();
+  for (const TrendFinding& f : findings) {
+    w.begin_object();
+    w.field("name", f.name);
+    w.field("split", static_cast<std::uint64_t>(f.split));
+    w.field("median_before", f.median_before);
+    w.field("median_after", f.median_after);
+    w.field("rel_change", f.rel_change);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void print_findings(const char* label,
+                    const std::vector<TrendFinding>& findings) {
+  std::printf("%s: %zu\n", label, findings.size());
+  for (const TrendFinding& f : findings) {
+    std::printf("  %-48s median %g -> %g (%+.1f%%) at run %zu of window\n",
+                f.name.c_str(), f.median_before, f.median_after,
+                f.rel_change * 100, f.split);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string history_path = "bench/history/BENCH_HISTORY.jsonl";
+  TrendOptions options;
+  bool expect_stable = false;
+  bool json = false;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--history" && i + 1 < argc) {
+      history_path = argv[++i];
+    } else if (arg == "--window" && i + 1 < argc) {
+      options.window = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--metric-tol" && i + 1 < argc) {
+      options.metric_tol = std::atof(argv[++i]);
+    } else if (arg == "--timing-tol" && i + 1 < argc) {
+      options.timing_tol = std::atof(argv[++i]);
+    } else if (arg == "--expect-stable") {
+      expect_stable = true;
+    } else if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.window < 2) {
+    std::fprintf(stderr, "bench_trend: --window must be at least 2\n");
+    return 2;
+  }
+
+  std::vector<LedgerEntry> entries;
+  {
+    hyperpath::obs::JsonlReader reader(history_path);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "bench_trend: cannot read %s\n",
+                   history_path.c_str());
+      return expect_stable ? 1 : 2;
+    }
+    hyperpath::obs::JsonValue doc;
+    while (reader.next(&doc)) {
+      std::string err;
+      if (auto e = hyperpath::obs::parse_ledger_entry(doc, &err)) {
+        entries.push_back(std::move(*e));
+      } else {
+        std::fprintf(stderr, "bench_trend: %s line %zu skipped: %s\n",
+                     history_path.c_str(), reader.line(), err.c_str());
+      }
+    }
+    if (reader.failed()) {
+      std::fprintf(stderr, "bench_trend: %s line %zu: %s\n",
+                   history_path.c_str(), reader.line(),
+                   reader.error().message.c_str());
+      return 2;
+    }
+  }
+
+  const TrendReport report = hyperpath::obs::analyze_trend(entries, options);
+
+  std::printf("ledger: %zu run(s) in %s\n", entries.size(),
+              history_path.c_str());
+  std::printf("comparison key: %s\n",
+              report.key.empty() ? "(empty ledger)" : report.key.c_str());
+  std::printf("analyzed: %zu run(s), %zu metric series (window %zu)\n",
+              report.runs, report.series, options.window);
+  for (const std::string& key : report.skipped_keys) {
+    std::printf("skipped incomparable key: %s\n", key.c_str());
+  }
+  print_findings("metric steps (gating)", report.metric_steps);
+  print_findings("timing steps (informational)", report.timing_steps);
+  std::printf("bounds violations: %zu\n", report.bounds_violations.size());
+  for (const std::string& v : report.bounds_violations) {
+    std::printf("  %s\n", v.c_str());
+  }
+
+  if (json) {
+    if (json_path.empty()) json_path = "TREND_REPORT.json";
+    hyperpath::obs::JsonWriter w;
+    w.begin_object();
+    w.field("kind", "trend_report");
+    w.field("history", history_path);
+    w.field("comparison_key", report.key);
+    w.field("runs", static_cast<std::uint64_t>(report.runs));
+    w.field("series", static_cast<std::uint64_t>(report.series));
+    w.field("window", static_cast<std::uint64_t>(options.window));
+    w.field("stable", report.stable());
+    w.key("metric_steps");
+    write_findings(w, report.metric_steps);
+    w.key("timing_steps");
+    write_findings(w, report.timing_steps);
+    w.key("bounds_violations").begin_array();
+    for (const std::string& v : report.bounds_violations) w.value(v);
+    w.end_array();
+    w.key("skipped_keys").begin_array();
+    for (const std::string& k : report.skipped_keys) w.value(k);
+    w.end_array();
+    w.end_object();
+    std::ofstream out(json_path);
+    out << w.str() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (expect_stable) {
+    if (report.runs < 2) {
+      std::fprintf(stderr,
+                   "bench_trend: --expect-stable needs >= 2 comparable runs "
+                   "(got %zu)\n",
+                   report.runs);
+      return 1;
+    }
+    if (!report.stable()) {
+      std::fprintf(stderr, "bench_trend: UNSTABLE — %zu metric step(s), %zu "
+                           "bounds violation(s)\n",
+                   report.metric_steps.size(),
+                   report.bounds_violations.size());
+      return 1;
+    }
+    std::printf("bench_trend: stable\n");
+  }
+  return 0;
+}

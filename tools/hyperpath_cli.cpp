@@ -9,6 +9,7 @@
 //   hyperpath_cli faults replay <schedule-file> [...]   timed-fault replay
 //   hyperpath_cli trace <cycle|grid|ccc> ...  traced phase simulation
 //   hyperpath_cli analyze <trace.jsonl> ...   offline trace analytics
+//   hyperpath_cli watch <telemetry.jsonl> ... live telemetry dashboard
 //
 // The global `--threads N` (or `--threads=N`) flag, accepted anywhere on
 // the command line, sizes the process-wide par::TaskPool — overriding the
@@ -63,6 +64,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "par/task_pool.hpp"
 #include "sim/faults.hpp"
@@ -70,6 +72,7 @@
 #include "sim/recovery.hpp"
 
 #include "analyze_driver.hpp"
+#include "watch_driver.hpp"
 
 namespace hyperpath {
 namespace {
@@ -311,6 +314,11 @@ struct TraceOptions {
   std::string chrome_path;  // chrome://tracing span timeline output
   bool json = false;        // write summary (default path if json_path empty)
   int packets = -1;         // packets per guest edge (-1 = kind default)
+  bool telemetry = false;       // stream live samples alongside the trace
+  std::string telemetry_path;   // default: <trace-stem>.telemetry.jsonl
+  int telemetry_period = 64;    // sample every N simulation steps
+  bool prom = false;            // dump a Prometheus snapshot after the run
+  std::string prom_path;        // default: METRICS_<kind>.prom
   std::vector<std::string> positional;
 };
 
@@ -342,6 +350,20 @@ TraceOptions parse_trace_args(int argc, char** argv) {
     } else if (next_or_eq(a, "--json", i, &v)) {
       opt.json = true;
       opt.json_path = v;
+    } else if (a == "--telemetry" &&
+               (i + 1 >= argc || argv[i + 1][0] == '-')) {
+      opt.telemetry = true;
+    } else if (next_or_eq(a, "--telemetry", i, &v)) {
+      opt.telemetry = true;
+      opt.telemetry_path = v;
+    } else if (next_or_eq(a, "--telemetry-period", i, &v)) {
+      opt.telemetry = true;
+      opt.telemetry_period = std::atoi(v.c_str());
+    } else if (a == "--prom" && (i + 1 >= argc || argv[i + 1][0] == '-')) {
+      opt.prom = true;
+    } else if (next_or_eq(a, "--prom", i, &v)) {
+      opt.prom = true;
+      opt.prom_path = v;
     } else if (next_or_eq(a, "--packets", i, &v) ||
                next_or_eq(a, "-p", i, &v)) {
       opt.packets = std::atoi(v.c_str());
@@ -434,6 +456,62 @@ void dump_chrome_trace(TraceOptions& opt, const char* kind) {
   }
 }
 
+// Enable the process-wide telemetry bus for a traced run.  The time-series
+// lands next to the trace (<trace-stem>.telemetry.jsonl) unless an explicit
+// path was given.  The thread pool is touched first so the stream header's
+// effective_threads stamp reflects the pool the run will actually use.
+void begin_telemetry(const TraceOptions& opt) {
+  if (!opt.telemetry) return;
+  if (opt.telemetry_period <= 0) {
+    std::fprintf(stderr, "--telemetry-period requires a positive integer\n");
+    std::exit(1);
+  }
+  par::global_threads();
+  obs::TelemetryBus::Config cfg;
+  cfg.period_steps = opt.telemetry_period;
+  if (!opt.telemetry_path.empty()) {
+    cfg.jsonl_path = opt.telemetry_path;
+  } else {
+    std::string stem = opt.trace_path;
+    const std::string ext = ".jsonl";
+    if (stem.size() > ext.size() &&
+        stem.compare(stem.size() - ext.size(), ext.size(), ext) == 0) {
+      stem.resize(stem.size() - ext.size());
+    }
+    cfg.jsonl_path = stem + ".telemetry.jsonl";
+  }
+  obs::TelemetryBus::global().enable(cfg);
+}
+
+// Stop sampling, report what the bus captured, and (with --prom) write a
+// Prometheus text snapshot of the whole metrics registry.
+void end_telemetry(TraceOptions& opt, const char* kind) {
+  if (opt.telemetry) {
+    obs::TelemetryBus& bus = obs::TelemetryBus::global();
+    const std::uint64_t samples = bus.total_samples();
+    const std::string path = bus.jsonl_path();
+    bus.disable();
+    std::printf("telemetry: %llu samples (every %d steps) → %s\n",
+                static_cast<unsigned long long>(samples),
+                opt.telemetry_period, path.c_str());
+  }
+  if (opt.prom) {
+    if (opt.prom_path.empty()) {
+      opt.prom_path = std::string("METRICS_") + kind + ".prom";
+    }
+    const std::string text =
+        obs::MetricsRegistry::global().expose_prometheus();
+    FILE* f = std::fopen(opt.prom_path.c_str(), "w");
+    if (!f) {
+      std::perror(opt.prom_path.c_str());
+      return;
+    }
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    std::printf("prometheus snapshot: %s\n", opt.prom_path.c_str());
+  }
+}
+
 void trace_help(std::FILE* out) {
   std::fputs(
       "usage: trace <cycle|grid|ccc> ... [options]\n"
@@ -452,6 +530,19 @@ void trace_help(std::FILE* out) {
       "                       host dimension, then one event per line\n"
       "  --json [FILE]        summary JSON (default SUMMARY_<kind>.json)\n"
       "  --chrome FILE        chrome://tracing span timeline\n"
+      "  --telemetry [FILE]   stream live queue/worker/recovery gauges to a\n"
+      "                       JSONL time-series (default "
+      "<trace-stem>.telemetry.jsonl);\n"
+      "                       view live with `hyperpath_cli watch FILE "
+      "--follow`\n"
+      "  --telemetry-period N sample every N simulator steps (default 64;\n"
+      "                       implies --telemetry).  Results are "
+      "bit-identical\n"
+      "                       at any period — sampling only reads sim "
+      "state\n"
+      "  --prom [FILE]        Prometheus text snapshot of the metrics\n"
+      "                       registry after the run (default "
+      "METRICS_<kind>.prom)\n"
       "  --threads N          global thread-pool size\n"
       "\n"
       "Feed the trace to `analyze` (or the standalone trace_query binary)\n"
@@ -503,6 +594,7 @@ int cmd_trace(int argc, char** argv) {
     obs::JsonlFileSink sink(opt.trace_path);
     sink.write_meta(emb.host().dims(),
                     static_cast<std::uint64_t>(emb.guest().num_edges()) * p);
+    begin_telemetry(opt);
     SimResult r;
     {
       obs::ScopedTimer t("simulate");
@@ -512,6 +604,7 @@ int cmd_trace(int argc, char** argv) {
     params = {{"n", static_cast<double>(n)}, {"packets_per_edge",
                                              static_cast<double>(p)}};
     print_trace_summary("cycle", r, emb.host(), sink);
+    end_telemetry(opt, "cycle");
     dump_chrome_trace(opt, "cycle");
     if (opt.json) {
       if (opt.json_path.empty()) opt.json_path = "SUMMARY_cycle.json";
@@ -545,6 +638,7 @@ int cmd_trace(int argc, char** argv) {
     obs::JsonlFileSink sink(opt.trace_path);
     sink.write_meta(emb.host().dims(),
                     static_cast<std::uint64_t>(emb.guest().num_edges()) * p);
+    begin_telemetry(opt);
     SimResult r;
     {
       obs::ScopedTimer t("simulate");
@@ -555,6 +649,7 @@ int cmd_trace(int argc, char** argv) {
               {"wrap", spec.wrap ? 1.0 : 0.0},
               {"packets_per_edge", static_cast<double>(p)}};
     print_trace_summary("grid", r, emb.host(), sink);
+    end_telemetry(opt, "grid");
     dump_chrome_trace(opt, "grid");
     if (opt.json) {
       if (opt.json_path.empty()) opt.json_path = "SUMMARY_grid.json";
@@ -584,6 +679,7 @@ int cmd_trace(int argc, char** argv) {
     sink.write_meta(emb.host().dims(),
                     static_cast<std::uint64_t>(emb.guest().num_edges()) * p *
                         emb.num_copies());
+    begin_telemetry(opt);
     SimResult r;
     {
       obs::ScopedTimer t("simulate");
@@ -594,6 +690,7 @@ int cmd_trace(int argc, char** argv) {
               {"copies", static_cast<double>(emb.num_copies())},
               {"packets_per_edge", static_cast<double>(p)}};
     print_trace_summary("ccc", r, emb.host(), sink);
+    end_telemetry(opt, "ccc");
     dump_chrome_trace(opt, "ccc");
     if (opt.json) {
       if (opt.json_path.empty()) opt.json_path = "SUMMARY_ccc.json";
@@ -637,7 +734,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s [--threads N] "
-                 "cycle|grid|ccc|decomp|moments|faults|trace|analyze ...\n",
+                 "cycle|grid|ccc|decomp|moments|faults|trace|analyze|watch "
+                 "...\n",
                  argv[0]);
     return 1;
   }
@@ -657,6 +755,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "analyze") return tools::run_analyze(argc - 2, argv + 2);
+    if (cmd == "watch") return tools::run_watch(argc - 2, argv + 2);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
