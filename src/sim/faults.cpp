@@ -197,6 +197,66 @@ void FaultSchedule::transient_node(int step, int repair_step, Node v) {
   node_up(repair_step, v);
 }
 
+FaultSchedule FaultSchedule::random(int dims, const RandomScheduleSpec& spec,
+                                    Rng& rng) {
+  HP_CHECK(spec.window >= 1, "random schedule window must be >= 1");
+  HP_CHECK(spec.link_rate >= 0 && spec.node_rate >= 0,
+           "random schedule rates must be non-negative");
+  HP_CHECK(spec.transient_fraction >= 0 && spec.transient_fraction <= 1,
+           "transient fraction must be in [0, 1]");
+  HP_CHECK(spec.min_repair >= 1 && spec.max_repair >= spec.min_repair,
+           "repair delay range must satisfy 1 <= min <= max");
+
+  const Hypercube q(dims);
+  FaultSchedule schedule(dims);
+
+  const auto clamp_count = [](double rate, std::uint64_t total) {
+    const double want = rate * static_cast<double>(total) + 0.5;
+    const auto count = static_cast<std::uint64_t>(want);
+    return count > total ? total : count;
+  };
+  const std::uint64_t link_count =
+      clamp_count(spec.link_rate, q.num_undirected_edges());
+  const std::uint64_t node_count = clamp_count(spec.node_rate, q.num_nodes());
+
+  // Distinct physical links, tracked independently of node faults so the
+  // intensity knob means "fraction of links explicitly cut".
+  FaultSet seen_links(dims);
+  for (std::uint64_t added = 0; added < link_count;) {
+    const Node u = static_cast<Node>(rng.below(q.num_nodes()));
+    const Dim d = static_cast<Dim>(rng.below(dims));
+    const Node v = q.neighbor(u, d);
+    if (seen_links.link_dead(u, v)) continue;
+    seen_links.kill_link(u, v);
+    const int step = static_cast<int>(rng.below(spec.window));
+    if (rng.chance(spec.transient_fraction)) {
+      const int repair = step + static_cast<int>(rng.between(
+                                    spec.min_repair, spec.max_repair));
+      schedule.transient_link(step, repair, u, v);
+    } else {
+      schedule.link_down(step, u, v);
+    }
+    ++added;
+  }
+
+  FaultSet seen_nodes(dims);
+  for (std::uint64_t added = 0; added < node_count;) {
+    const Node v = static_cast<Node>(rng.below(q.num_nodes()));
+    if (seen_nodes.node_dead(v)) continue;
+    seen_nodes.kill_node(v);
+    const int step = static_cast<int>(rng.below(spec.window));
+    if (rng.chance(spec.transient_fraction)) {
+      const int repair = step + static_cast<int>(rng.between(
+                                    spec.min_repair, spec.max_repair));
+      schedule.transient_node(step, repair, v);
+    } else {
+      schedule.node_down(step, v);
+    }
+    ++added;
+  }
+  return schedule;
+}
+
 FaultSet FaultSchedule::state_at(int step) const {
   FaultSet f(host_.dims());
   for (const FaultEvent& e : events_) {
@@ -233,50 +293,65 @@ std::string FaultSchedule::serialize() const {
 FaultSchedule FaultSchedule::parse(const std::string& text) {
   std::istringstream in(text);
   std::string line;
+  std::size_t lineno = 0;
   int dims = -1;
   std::vector<FaultSchedule> out;  // delayed construction until dims known
+  // Every malformed line — including endpoint validation thrown from the
+  // add helpers — reports its 1-based line number, matching JsonlReader.
+  const auto fail = [&](const std::string& msg) -> Error {
+    return Error("fault schedule line " + std::to_string(lineno) + ": " +
+                 msg);
+  };
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);
     std::string first;
     if (!(ls >> first)) continue;  // blank / comment-only line
     if (first == "dims") {
-      HP_CHECK(dims < 0, "duplicate dims header");
-      HP_CHECK(static_cast<bool>(ls >> dims) && dims > 0,
-               "malformed dims header");
+      if (dims >= 0) throw fail("duplicate dims header");
+      if (!(ls >> dims) || dims <= 0) throw fail("malformed dims header");
       out.emplace_back(dims);
       continue;
     }
-    HP_CHECK(dims > 0, "fault schedule must start with a dims header");
+    if (dims <= 0) {
+      throw fail("fault schedule must start with a dims header");
+    }
     int step = 0;
     std::string kind;
     Node u = 0;
     try {
       step = std::stoi(first);
     } catch (const std::exception&) {
-      throw Error("malformed fault schedule line: " + line);
+      throw fail("malformed fault schedule line: " + line);
     }
-    HP_CHECK(static_cast<bool>(ls >> kind >> u),
-             "malformed fault schedule line: " + line);
-    if (kind == "link-down" || kind == "link-up") {
-      Node v = 0;
-      HP_CHECK(static_cast<bool>(ls >> v),
-               "link event needs two endpoints: " + line);
-      if (kind == "link-down") {
-        out.back().link_down(step, u, v);
+    if (!(ls >> kind >> u)) {
+      throw fail("malformed fault schedule line: " + line);
+    }
+    try {
+      if (kind == "link-down" || kind == "link-up") {
+        Node v = 0;
+        if (!(ls >> v)) throw Error("link event needs two endpoints: " + line);
+        if (kind == "link-down") {
+          out.back().link_down(step, u, v);
+        } else {
+          out.back().link_up(step, u, v);
+        }
+      } else if (kind == "node-down") {
+        out.back().node_down(step, u);
+      } else if (kind == "node-up") {
+        out.back().node_up(step, u);
       } else {
-        out.back().link_up(step, u, v);
+        throw Error("unknown fault event kind: " + kind);
       }
-    } else if (kind == "node-down") {
-      out.back().node_down(step, u);
-    } else if (kind == "node-up") {
-      out.back().node_up(step, u);
-    } else {
-      throw Error("unknown fault event kind: " + kind);
+    } catch (const Error& e) {
+      throw fail(e.what());
     }
   }
-  HP_CHECK(!out.empty(), "fault schedule must start with a dims header");
+  if (out.empty()) {
+    throw Error("fault schedule must start with a dims header");
+  }
   return std::move(out.back());
 }
 

@@ -143,6 +143,25 @@ struct FaultEvent {
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
+/// Parameters of a randomized timed fault schedule (FaultSchedule::random).
+/// The Monte-Carlo campaign driver (sim/montecarlo.hpp) draws thousands of
+/// these per campaign; every knob is deterministic given the Rng.
+struct RandomScheduleSpec {
+  /// Fault arrival steps are uniform in [0, window).
+  int window = 8;
+  /// Fraction of the host's physical links to fault (distinct links;
+  /// count = round(link_rate * num_undirected_edges), clamped to the link
+  /// count).  The campaign's "fault intensity" knob.
+  double link_rate = 0.05;
+  /// Fraction of the host's nodes to fault (distinct nodes).
+  double node_rate = 0.0;
+  /// Probability that a fault is transient — paired with a repair event
+  /// `min_repair..max_repair` steps after the down event.
+  double transient_fraction = 0.5;
+  int min_repair = 1;
+  int max_repair = 16;
+};
+
 /// An ordered list of timed fault/repair events on Q_dims.  Events are kept
 /// sorted by step (stable in insertion order within a step), so replaying a
 /// schedule is deterministic.  Serializable to a small line-oriented text
@@ -175,6 +194,15 @@ class FaultSchedule {
   /// Transient node fault: down at `step`, repaired at `repair_step`.
   void transient_node(int step, int repair_step, Node v);
 
+  /// A randomized timed schedule: distinct link faults and node faults with
+  /// uniform arrival steps, a transient fraction paired with repair events.
+  /// Deterministic given the Rng state — the Monte-Carlo driver derives one
+  /// Rng per trial from (campaign seed, trial index), so campaigns are
+  /// exactly reproducible.  Throws on a malformed spec (negative rates,
+  /// window < 1, max_repair < min_repair).
+  static FaultSchedule random(int dims, const RandomScheduleSpec& spec,
+                              Rng& rng);
+
   /// Static snapshot after applying every event with event.step <= step.
   /// The sender-side view a recovery protocol probes before retransmitting.
   FaultSet state_at(int step) const;
@@ -184,7 +212,10 @@ class FaultSchedule {
 
   std::string serialize() const;
   /// Parses the serialize() format; throws hyperpath::Error on malformed
-  /// input (unknown directive, bad endpoints, missing dims header).
+  /// input (unknown directive, bad endpoints, missing dims header).  Error
+  /// messages carry the 1-based line number of the offending line
+  /// ("fault schedule line N: ..."), matching the JsonlReader convention,
+  /// so CLI replay reports point at the exact line of the file.
   static FaultSchedule parse(const std::string& text);
 
  private:

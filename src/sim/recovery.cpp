@@ -1,6 +1,7 @@
 #include "sim/recovery.hpp"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
 #include "base/error.hpp"
@@ -73,13 +74,21 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
   // telemetry sample taken while a wave simulates sees recovery progress
   // as it happens.  Final totals are identical to the single end-of-run
   // accumulation this replaces.  Entry addresses are stable, so the
-  // references stay valid across waves.
-  auto& reg = obs::MetricsRegistry::global();
-  reg.counter("recovery.messages_total").add(result.messages_total);
-  obs::Counter& live_delivered = reg.counter("recovery.fragments_delivered");
-  obs::Counter& live_lost = reg.counter("recovery.fragments_lost");
-  obs::Counter& live_retx = reg.counter("recovery.retransmissions");
-  obs::Counter& live_complete = reg.counter("recovery.messages_complete");
+  // references stay valid across waves.  Null when the caller opted out
+  // (Monte-Carlo trials run concurrently and must not touch the registry).
+  obs::MetricsRegistry* reg =
+      config.update_registry ? &obs::MetricsRegistry::global() : nullptr;
+  obs::Counter* live_delivered = nullptr;
+  obs::Counter* live_lost = nullptr;
+  obs::Counter* live_retx = nullptr;
+  obs::Counter* live_complete = nullptr;
+  if (reg) {
+    reg->counter("recovery.messages_total").add(result.messages_total);
+    live_delivered = &reg->counter("recovery.fragments_delivered");
+    live_lost = &reg->counter("recovery.fragments_lost");
+    live_retx = &reg->counter("recovery.retransmissions");
+    live_complete = &reg->counter("recovery.messages_complete");
+  }
 
   const StoreForwardSim serial(dims);
   const ParallelStoreForwardSim parallel(dims, config.threads);
@@ -88,6 +97,31 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
   // wave are flushed together; StepTrace's canonical sort puts them in step
   // order within the batch.
   obs::StepTrace rtrace(sink);
+
+  // Probing the schedule is O(events) per call; a retransmit storm probes
+  // once per lost fragment per attempt.  Within a wave all probes at the
+  // same detect step see the same state, so they share one snapshot.  Past
+  // the last scheduled event the state is final and can never change —
+  // a fragment whose whole bundle is dead there is undeliverable, and its
+  // remaining attempts resolve without further probing (graceful
+  // degradation instead of a probe storm; the counters are identical to
+  // probing each attempt individually).
+  const int last_event_step =
+      schedule.empty() ? -1 : schedule.events().back().step;
+  std::map<std::int64_t, FaultSet> probe_cache;
+  const auto probe_at = [&](std::int64_t detect) -> const FaultSet& {
+    const std::int64_t key =
+        detect > last_event_step ? static_cast<std::int64_t>(last_event_step)
+                                 : detect;
+    auto it = probe_cache.find(key);
+    if (it == probe_cache.end()) {
+      it = probe_cache
+               .emplace(key, schedule.state_at(static_cast<int>(
+                                 std::max<std::int64_t>(key, 0))))
+               .first;
+    }
+    return it->second;
+  };
 
   while (!packets.empty()) {
     const bool announce = result.waves == 0;
@@ -123,7 +157,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
       const Frag& fg = frags[i];
       const PacketFate& fate = wave.fates[i];
       ++result.fragments_delivered;
-      live_delivered.add(1);
+      if (live_delivered) live_delivered->add(1);
       result.useful_transmissions +=
           static_cast<std::uint64_t>(packets[i].route.size() - 1);
       MessageState& ms = state[fg.message];
@@ -135,7 +169,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
       if (ms.delivered >= threshold[fg.message]) {
         out.complete = true;
         out.complete_step = fate.step;
-        live_complete.add(1);
+        if (live_complete) live_complete->add(1);
       }
     }
 
@@ -149,7 +183,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
       Frag fg = frags[i];
       const PacketFate& fate = wave.fates[i];
       ++result.fragments_lost;
-      live_lost.add(1);
+      if (live_lost) live_lost->add(1);
       MessageOutcome& out = result.messages[fg.message];
       const bool pre_completion = !out.complete || fate.step < out.complete_step;
       if (pre_completion &&
@@ -163,11 +197,22 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
       bool scheduled = false;
       while (fg.attempts < config.max_retries) {
         ++fg.attempts;
+        // Saturating exponential backoff: timeout·2^(attempts−1) clamped to
+        // the step horizon.  The explicit shift guard keeps large retry
+        // budgets from shifting past 62 bits (undefined behaviour) — a
+        // saturated wait lands at or beyond the horizon and breaks out,
+        // exactly where the unclamped arithmetic would have ended up.
+        const int shift = fg.attempts - 1;
+        const auto horizon = static_cast<std::int64_t>(config.max_steps);
+        std::int64_t wait = horizon;
+        if (shift < 62 &&
+            static_cast<std::int64_t>(config.timeout) <= (horizon >> shift)) {
+          wait = static_cast<std::int64_t>(config.timeout) << shift;
+        }
         const std::int64_t detect =
-            static_cast<std::int64_t>(fate.step) +
-            (static_cast<std::int64_t>(config.timeout) << (fg.attempts - 1));
-        if (detect >= config.max_steps) break;  // beyond the horizon
-        const FaultSet probe = schedule.state_at(static_cast<int>(detect));
+            static_cast<std::int64_t>(fate.step) + wait;
+        if (detect >= horizon) break;  // beyond the horizon
+        const FaultSet& probe = probe_at(detect);
         int chosen = -1;
         for (int k = 1; k <= w; ++k) {
           const int cand = (fg.path_idx + k) % w;
@@ -176,10 +221,17 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
             break;
           }
         }
-        if (chosen < 0) continue;  // every path dead at detect time: back off
+        if (chosen < 0) {
+          // Every path dead at detect time.  If the schedule has no events
+          // left to fire, no backoff can ever revive a path — resolve the
+          // remaining attempts now instead of re-probing the same final
+          // state (all-paths-dead degradation, not a livelocked storm).
+          if (detect > last_event_step) break;
+          continue;  // a repair may still be pending: back off and re-probe
+        }
         fg.path_idx = chosen;
         ++result.retransmissions;
-        live_retx.add(1);
+        if (live_retx) live_retx->add(1);
         ++result.fragments_sent;
         ++out.retransmissions;
         if (rtrace.enabled()) {
@@ -215,13 +267,15 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
     }
   }
 
-  reg.gauge("recovery.delivery_rate").set(result.delivery_rate());
-  reg.gauge("recovery.goodput").set(result.goodput());
-  auto& hist = reg.histogram("recovery.time_to_recover",
-                             obs::FixedHistogram::exponential().bounds());
-  for (const MessageOutcome& m : result.messages) {
-    if (m.recovered()) {
-      hist.observe(static_cast<double>(m.complete_step - m.first_loss_step));
+  if (reg) {
+    reg->gauge("recovery.delivery_rate").set(result.delivery_rate());
+    reg->gauge("recovery.goodput").set(result.goodput());
+    auto& hist = reg->histogram("recovery.time_to_recover",
+                                obs::FixedHistogram::exponential().bounds());
+    for (const MessageOutcome& m : result.messages) {
+      if (m.recovered()) {
+        hist.observe(static_cast<double>(m.complete_step - m.first_loss_step));
+      }
     }
   }
   return result;

@@ -39,9 +39,14 @@ namespace hyperpath {
 
 struct RecoveryConfig {
   /// Steps after a loss before the sender declares the fragment dead and
-  /// retransmits.  Doubled on every further attempt for the same fragment.
+  /// retransmits.  Doubled on every further attempt for the same fragment;
+  /// the doubled wait saturates at the step horizon (max_steps), so very
+  /// large retry budgets can never overflow the backoff shift.
   int timeout = 8;
-  /// Retransmission budget per fragment.
+  /// Retransmission budget per fragment.  Safe at any magnitude: once the
+  /// saturated backoff passes the horizon, or every bundle path is
+  /// permanently dead with no repair still pending, the remaining attempts
+  /// resolve immediately instead of re-probing the schedule.
   int max_retries = 4;
   /// Distinct fragments needed to reconstruct a message; <= 0 means all w
   /// (no dispersal redundancy).  The IDA setting is width - 1.
@@ -52,6 +57,12 @@ struct RecoveryConfig {
   /// (bit-identical results either way; tests enforce it).
   bool parallel = false;
   int threads = 0;  // parallel transport only; 0 = hardware concurrency
+  /// Publish the outcome into the process-wide obs::MetricsRegistry
+  /// ("recovery.*").  The Monte-Carlo driver turns this off for its trials:
+  /// registry histograms are single-writer, and thousands of concurrent
+  /// trials would race on them — the campaign publishes its own aggregated
+  /// "mc.*" metrics instead.
+  bool update_registry = true;
 };
 
 /// Per-message (= per guest edge) outcome.

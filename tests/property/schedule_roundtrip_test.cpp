@@ -1,0 +1,86 @@
+// Property: FaultSchedule's text format round-trips bit-identically —
+// serialize → parse → serialize is the identity on randomized schedules of
+// every shape the generator can produce (permanent and transient link
+// faults, node faults, repair events, empty schedules).  The text format is
+// the interchange between `hyperpath_cli faults replay`, checked-in
+// schedule files and the campaign tooling, so byte-stability is load-
+// bearing.  Also pins the parser's line-numbered error convention.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "sim/faults.hpp"
+
+namespace hyperpath {
+namespace {
+
+void expect_roundtrip(const FaultSchedule& s, const std::string& label) {
+  const std::string text = s.serialize();
+  const FaultSchedule parsed = FaultSchedule::parse(text);
+  EXPECT_EQ(parsed.dims(), s.dims()) << label;
+  EXPECT_EQ(parsed.events(), s.events()) << label;
+  EXPECT_EQ(parsed.serialize(), text) << label;  // bit-identical text
+}
+
+TEST(FaultScheduleRoundTrip, RandomizedSchedulesSurviveTextRoundTrips) {
+  Rng meta(20260808);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int dims = 3 + static_cast<int>(meta.below(6));  // Q_3 .. Q_8
+    RandomScheduleSpec spec;
+    spec.window = 1 + static_cast<int>(meta.below(12));
+    spec.link_rate = 0.25 * static_cast<double>(meta.below(5));  // 0 .. 1
+    spec.node_rate = 0.1 * static_cast<double>(meta.below(3));
+    spec.transient_fraction = 0.25 * static_cast<double>(meta.below(5));
+    spec.min_repair = 1 + static_cast<int>(meta.below(4));
+    spec.max_repair = spec.min_repair + static_cast<int>(meta.below(12));
+    Rng rng(1000 + static_cast<std::uint64_t>(iter));
+    const FaultSchedule s = FaultSchedule::random(dims, spec, rng);
+    expect_roundtrip(s, "iter=" + std::to_string(iter) +
+                            " dims=" + std::to_string(dims) +
+                            " events=" + std::to_string(s.size()));
+  }
+}
+
+TEST(FaultScheduleRoundTrip, HandCraftedEdgeCasesSurviveToo) {
+  {
+    const FaultSchedule empty(5);
+    expect_roundtrip(empty, "empty schedule");
+  }
+  {
+    FaultSchedule s(4);
+    s.link_down(0, 0b0000, 0b1000);
+    s.transient_link(0, 1, 0b0001, 0b0011);   // shortest possible repair
+    s.transient_node(2, 1000000, 0b1111);     // very distant repair
+    s.node_down(1000001, 0b0000);
+    expect_roundtrip(s, "mixed kinds");
+  }
+}
+
+TEST(FaultScheduleRoundTrip, ParseErrorsCarryLineNumbers) {
+  const auto error_of = [](const std::string& text) -> std::string {
+    try {
+      FaultSchedule::parse(text);
+    } catch (const Error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Same convention as JsonlReader: "... line N: message".
+  EXPECT_NE(error_of("dims 3\n0 link-down 0 1\nbogus\n")
+                .find("fault schedule line 3"),
+            std::string::npos);
+  EXPECT_NE(error_of("0 link-down 0 1\n").find("fault schedule line 1"),
+            std::string::npos);
+  EXPECT_NE(error_of("dims 3\n\n# comment\n0 melt-down 1\n")
+                .find("fault schedule line 4"),
+            std::string::npos);
+  // Semantic errors (not just syntax) carry the offending line too.
+  EXPECT_NE(error_of("dims 3\n0 link-down 0 3\n")
+                .find("fault schedule line 2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -420,6 +420,51 @@ TEST(Recovery, TransientFaultHealsAndMessageCompletes) {
   EXPECT_EQ(r.messages_complete, r.messages_total);
 }
 
+TEST(Recovery, HugeRetryBudgetSaturatesBackoffInsteadOfOverflowing) {
+  // Boundary of the exponential backoff: with timeout 1 and 200 retries the
+  // naive wait `timeout << (attempts-1)` would shift past 63 bits (UB) by
+  // attempt 65.  The saturating clamp must instead pin the wait at the step
+  // horizon and resolve the fragment as exhausted — same bookkeeping as a
+  // small budget, no overflow (the sanitizer jobs run this test).
+  const auto emb = gray_code_cycle_embedding(4);  // width 1, nowhere to go
+  const std::span<const HostPath> bundle = emb.paths(0);
+  FaultSchedule s(4);
+  // Repair lands just inside the horizon, so a repair stays pending and
+  // every attempt really probes (the all-paths-dead shortcut never fires).
+  RecoveryConfig cfg;
+  cfg.timeout = 1;
+  cfg.max_retries = 200;
+  cfg.max_steps = 1 << 16;
+  s.transient_link(0, cfg.max_steps - 1, bundle[0][0], bundle[0][1]);
+
+  const auto r = run_recovery(emb, s, cfg);
+  EXPECT_FALSE(r.messages[0].complete);
+  EXPECT_GT(r.fragments_exhausted, 0u);
+  // Waits 1, 2, 4, ... saturate at the horizon well before the budget is
+  // spent, so far fewer than 200 retransmissions can have been scheduled.
+  EXPECT_LE(r.messages[0].retransmissions, 20);
+  EXPECT_EQ(r.messages_complete, r.messages_total - 1);
+}
+
+TEST(Recovery, OversizedTimeoutSaturatesOnTheFirstAttempt) {
+  // The clamp also guards the first attempt: a timeout beyond the horizon
+  // means detection can never happen inside the run, so the fragment is
+  // exhausted immediately even though a repair is still pending.
+  const auto emb = gray_code_cycle_embedding(4);
+  const std::span<const HostPath> bundle = emb.paths(0);
+  RecoveryConfig cfg;
+  cfg.timeout = 1 << 30;
+  cfg.max_retries = 70;
+  cfg.max_steps = 1 << 12;
+  FaultSchedule s(4);
+  s.transient_link(0, cfg.max_steps - 1, bundle[0][0], bundle[0][1]);
+
+  const auto r = run_recovery(emb, s, cfg);
+  EXPECT_FALSE(r.messages[0].complete);
+  EXPECT_EQ(r.messages[0].retransmissions, 0);
+  EXPECT_GT(r.fragments_exhausted, 0u);
+}
+
 // The acceptance-criteria test: a schedule that leaves every bundle at
 // least one surviving path (links and nodes both faulting) must deliver
 // every message with bounded retries, and serial vs parallel transports

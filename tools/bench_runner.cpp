@@ -51,8 +51,8 @@ const std::vector<std::string> kSuite = {
     "illustration", "theorem1",   "theorem2",     "lower_bound",
     "grids",        "relaxation", "hamdecomp",    "ccc_multicopy",
     "transform",    "trees",      "bitserial",    "largecopy",
-    "faults",       "recovery",   "parallel_sim", "simcore",
-    "ablation",     "par",
+    "faults",       "recovery",   "mc",           "parallel_sim",
+    "simcore",      "ablation",   "par",
 };
 
 /// Outcome slot of one bench, filled by its pool task and consumed in

@@ -7,6 +7,7 @@
 //   hyperpath_cli moments <n>           moment table of Q_n
 //   hyperpath_cli faults <n> <count> [seed]   fault-tolerance snapshot
 //   hyperpath_cli faults replay <schedule-file> [...]   timed-fault replay
+//   hyperpath_cli campaign <n> [...]    Monte-Carlo reliability campaign
 //   hyperpath_cli trace <cycle|grid|ccc> ...  traced phase simulation
 //   hyperpath_cli analyze <trace.jsonl> ...   offline trace analytics
 //   hyperpath_cli watch <telemetry.jsonl> ... live telemetry dashboard
@@ -15,6 +16,18 @@
 // the command line, sizes the process-wide par::TaskPool — overriding the
 // HYPERPATH_THREADS environment variable — and thereby every parallel
 // construction/verification pass and the parallel simulator's default.
+//
+// `campaign` fans a seeded Monte-Carlo fault campaign (sim/montecarlo.hpp)
+// across the process pool: every trial draws its own randomized timed
+// fault schedule and runs sender-side recovery over the Theorem 1 cycle
+// embedding on Q_n (or the width-1 Gray baseline with --gray).  The
+// campaign digest printed at the end is bit-identical at every --threads
+// value and under any --begin/--end partition of the trial range — CI
+// gates on exactly that.  Flags: --trials T, --seed S, --begin/--end
+// (trial subrange of [0,T)), --rate R (link-fault intensity), --node-rate,
+// --window, --transient F, --timeout s, --retries k, --threshold m,
+// --sweep r1,r2,... (reliability envelope; prints the critical rate where
+// delivery drops below --min-delivery, default 0.99), --json [FILE].
 //
 // `faults replay` parses a FaultSchedule text file (see
 // sim/faults.hpp: `dims N` header, then `<step> link-down|link-up|
@@ -68,6 +81,7 @@
 #include "obs/trace.hpp"
 #include "par/task_pool.hpp"
 #include "sim/faults.hpp"
+#include "sim/montecarlo.hpp"
 #include "sim/phase.hpp"
 #include "sim/recovery.hpp"
 
@@ -214,7 +228,16 @@ int cmd_faults_replay(int argc, char** argv) {
   }
   std::stringstream buf;
   buf << in.rdbuf();
-  const FaultSchedule schedule = FaultSchedule::parse(buf.str());
+  // A malformed schedule is a user-input error, not an internal one: report
+  // it with the parser's line number (same shape as JsonlReader errors),
+  // prefixed with the file name, instead of letting the throw escape.
+  FaultSchedule schedule(1);
+  try {
+    schedule = FaultSchedule::parse(buf.str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "faults replay: %s: %s\n", file.c_str(), e.what());
+    return 1;
+  }
 
   const int n = schedule.dims();
   if (!cycle_multipath_supported(n)) {
@@ -292,6 +315,213 @@ int cmd_faults_replay(int argc, char** argv) {
     r.recovery_latency.write_json(w);
     w.end_object();
     w.end_object();
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::perror(json_path.c_str());
+      return 1;
+    }
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+void write_campaign_json(obs::JsonWriter& w, const CampaignStats& s) {
+  // uint64 digests do not survive a JSON double round-trip; emit exact
+  // 32-bit halves (same convention as bench_mc).
+  w.field("digest_hi", static_cast<std::uint64_t>(s.digest >> 32));
+  w.field("digest_lo", static_cast<std::uint64_t>(s.digest & 0xffffffffull));
+  w.field("trials", s.trials);
+  w.field("schedule_events", s.schedule_events);
+  w.field("messages_total", s.messages_total);
+  w.field("messages_complete", s.messages_complete);
+  w.field("messages_recovered", s.messages_recovered);
+  w.field("retransmissions", s.retransmissions);
+  w.field("fragments_lost", s.fragments_lost);
+  w.field("fragments_exhausted", s.fragments_exhausted);
+  w.field("trials_fully_delivered", s.trials_fully_delivered);
+  w.field("delivery_rate", s.delivery_rate());
+  w.field("survival_rate", s.survival_rate());
+  w.field("max_makespan", s.max_makespan);
+  w.field("max_waves", s.max_waves);
+  w.key("recovery_latency");
+  s.recovery_latency.write_json(w);
+  w.key("retransmit_generations");
+  s.retransmit_generations.write_json(w);
+  w.key("delivery_permille");
+  s.delivery_permille.write_json(w);
+}
+
+void print_campaign(const CampaignStats& s) {
+  std::printf("  digest: %016llx\n",
+              static_cast<unsigned long long>(s.digest));
+  std::printf("  delivery %.4f (%llu/%llu messages), survival %.4f "
+              "(%llu/%llu trials)\n",
+              s.delivery_rate(),
+              static_cast<unsigned long long>(s.messages_complete),
+              static_cast<unsigned long long>(s.messages_total),
+              s.survival_rate(),
+              static_cast<unsigned long long>(s.trials_fully_delivered),
+              static_cast<unsigned long long>(s.trials));
+  std::printf("  %llu retransmissions, %llu fragments lost, %llu exhausted; "
+              "%llu messages recovered after a loss\n",
+              static_cast<unsigned long long>(s.retransmissions),
+              static_cast<unsigned long long>(s.fragments_lost),
+              static_cast<unsigned long long>(s.fragments_exhausted),
+              static_cast<unsigned long long>(s.messages_recovered));
+  std::printf("  recovery latency mean %.2f max %.0f steps; max makespan "
+              "%d, max waves %d\n",
+              s.recovery_latency.mean(), s.recovery_latency.max(),
+              s.max_makespan, s.max_waves);
+}
+
+int cmd_campaign(int argc, char** argv) {
+  int n = -1;
+  CampaignConfig cfg;
+  int threshold = -1;  // -1 = width - 1 (IDA), resolved once width is known
+  bool gray = false, json = false;
+  std::string json_path;
+  std::vector<double> sweep;
+  double min_delivery = 0.99;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trials" && i + 1 < argc) {
+      cfg.trials = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--seed" && i + 1 < argc) {
+      cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--begin" && i + 1 < argc) {
+      cfg.trial_begin = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--end" && i + 1 < argc) {
+      cfg.trial_end = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--rate" && i + 1 < argc) {
+      cfg.schedule.link_rate = std::atof(argv[++i]);
+    } else if (a == "--node-rate" && i + 1 < argc) {
+      cfg.schedule.node_rate = std::atof(argv[++i]);
+    } else if (a == "--window" && i + 1 < argc) {
+      cfg.schedule.window = std::atoi(argv[++i]);
+    } else if (a == "--transient" && i + 1 < argc) {
+      cfg.schedule.transient_fraction = std::atof(argv[++i]);
+    } else if (a == "--timeout" && i + 1 < argc) {
+      cfg.recovery.timeout = std::atoi(argv[++i]);
+    } else if (a == "--retries" && i + 1 < argc) {
+      cfg.recovery.max_retries = std::atoi(argv[++i]);
+    } else if (a == "--threshold" && i + 1 < argc) {
+      threshold = std::atoi(argv[++i]);
+    } else if (a == "--min-delivery" && i + 1 < argc) {
+      min_delivery = std::atof(argv[++i]);
+    } else if (a == "--sweep" && i + 1 < argc) {
+      const char* p = argv[++i];
+      while (*p) {
+        char* end = nullptr;
+        sweep.push_back(std::strtod(p, &end));
+        if (end == p) break;
+        p = (*end == ',') ? end + 1 : end;
+      }
+    } else if (a == "--gray") {
+      gray = true;
+    } else if (a == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (n < 0 && !a.empty() && a[0] != '-') {
+      n = std::atoi(a.c_str());
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: campaign <n> [--trials T] [--seed S] [--begin B] "
+          "[--end E] [--rate R] [--node-rate R] [--window W] "
+          "[--transient F] [--timeout s] [--retries k] [--threshold m] "
+          "[--gray] [--sweep r1,r2,...] [--min-delivery d] "
+          "[--json [FILE]]\n");
+      return 1;
+    }
+  }
+  if (n < 0) {
+    std::fprintf(stderr, "campaign: missing hypercube dimension\n");
+    return 1;
+  }
+  if (!gray && !cycle_multipath_supported(n)) {
+    std::fprintf(stderr, "campaign: n=%d unsupported by Theorem 1\n", n);
+    return 1;
+  }
+  const MultiPathEmbedding emb =
+      gray ? gray_code_cycle_embedding(n) : theorem1_cycle_embedding(n);
+  cfg.recovery.threshold = threshold >= 0 ? threshold : emb.width() - 1;
+
+  std::printf("campaign: Q_%d %s width %d, trials [%u, %u) of %u, seed "
+              "%llu\n",
+              n, gray ? "gray" : "theorem1", emb.width(), cfg.trial_begin,
+              cfg.trial_end ? cfg.trial_end : cfg.trials, cfg.trials,
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("  faults: link rate %.3f, node rate %.3f, window %d, "
+              "transient %.2f; recovery: timeout %d, retries %d, threshold "
+              "%d of %d\n",
+              cfg.schedule.link_rate, cfg.schedule.node_rate,
+              cfg.schedule.window, cfg.schedule.transient_fraction,
+              cfg.recovery.timeout, cfg.recovery.max_retries,
+              cfg.recovery.threshold, emb.width());
+
+  const MonteCarloDriver driver(emb);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("experiment", "campaign");
+  w.key("params").begin_object();
+  w.field("n", n);
+  w.field("embedding", gray ? "gray" : "theorem1");
+  w.field("width", emb.width());
+  w.field("trials", static_cast<std::uint64_t>(cfg.trials));
+  w.field("seed", cfg.seed);
+  w.field("link_rate", cfg.schedule.link_rate);
+  w.field("node_rate", cfg.schedule.node_rate);
+  w.field("timeout", cfg.recovery.timeout);
+  w.field("max_retries", cfg.recovery.max_retries);
+  w.field("threshold", cfg.recovery.threshold);
+  w.end_object();
+
+  if (sweep.empty()) {
+    CampaignStats s;
+    {
+      obs::ScopedTimer timer("simulate");
+      s = driver.run(cfg);
+    }
+    print_campaign(s);
+    w.key("metrics").begin_object();
+    write_campaign_json(w, s);
+    w.end_object();
+  } else {
+    std::vector<EnvelopePoint> envelope;
+    {
+      obs::ScopedTimer timer("simulate");
+      envelope = sweep_envelope(emb, cfg, sweep);
+    }
+    w.key("envelope").begin_array();
+    for (const EnvelopePoint& pt : envelope) {
+      std::printf("-- link rate %.3f --\n", pt.link_rate);
+      print_campaign(pt.stats);
+      w.begin_object();
+      w.field("link_rate", pt.link_rate);
+      write_campaign_json(w, pt.stats);
+      w.end_object();
+    }
+    w.end_array();
+    const double critical = critical_fault_rate(envelope, min_delivery);
+    if (critical < 0) {
+      std::printf("critical link rate: delivery never dropped below %.3f "
+                  "within the sweep\n",
+                  min_delivery);
+    } else {
+      std::printf("critical link rate: delivery drops below %.3f at "
+                  "%.4f\n",
+                  min_delivery, critical);
+    }
+    w.field("min_delivery", min_delivery);
+    w.field("critical_rate", critical);
+  }
+  w.end_object();
+
+  if (json) {
+    if (json_path.empty()) json_path = "SUMMARY_campaign.json";
     FILE* f = std::fopen(json_path.c_str(), "w");
     if (!f) {
       std::perror(json_path.c_str());
@@ -734,8 +964,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s [--threads N] "
-                 "cycle|grid|ccc|decomp|moments|faults|trace|analyze|watch "
-                 "...\n",
+                 "cycle|grid|ccc|decomp|moments|faults|campaign|trace|"
+                 "analyze|watch ...\n",
                  argv[0]);
     return 1;
   }
@@ -749,6 +979,7 @@ int main(int argc, char** argv) {
     if (cmd == "faults" && argc >= 3 && !std::strcmp(argv[2], "replay")) {
       return cmd_faults_replay(argc - 3, argv + 3);
     }
+    if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (cmd == "faults" && argc >= 4) {
       return cmd_faults(std::atoi(argv[2]), std::atoi(argv[3]),
                         argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
