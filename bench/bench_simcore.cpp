@@ -20,6 +20,8 @@
 #include "obs/telemetry.hpp"
 #include "core/cycle_multipath.hpp"
 #include "core/grid_multipath.hpp"
+#include "par/task_pool.hpp"
+#include "sim/montecarlo.hpp"
 #include "sim/parallel_sim.hpp"
 #include "sim/phase.hpp"
 #include "sim/reference_sim.hpp"
@@ -203,6 +205,120 @@ void print_wormhole_table(bench::Report& report) {
   report.table(t);
 }
 
+void print_engine_table(bench::Report& report) {
+  // S4: the retained flat-arena step loop (SimEngine::kFlatArena) against
+  // the SoA route-plan kernel (kSoa, the production default) — same
+  // Theorem-1 phase workloads as S1, untraced and fault-free, which is
+  // exactly the branch-light specialization step_sweep<false, false>.
+  // Every SimResult field must match bit-exactly (FATAL otherwise); the
+  // packet-steps/second columns are the first-class throughput metric
+  // (SimResult::packet_steps_per_sec) and land in the timings section as
+  // pps_* spans so bench_runner --history and bench_trend chart them.
+  bench::Table t("S4: step-sweep engine — flat arena vs SoA route plan",
+                 {"n", "packets", "makespan", "flat ms", "soa ms", "speedup",
+                  "flat Mpps", "soa Mpps"});
+  auto& reg = obs::MetricsRegistry::global();
+  for (int n : {12, 14, 16}) {
+    const auto emb = [&] {
+      obs::ScopedTimer timer("construct");
+      return phase_embedding(n);
+    }();
+    const auto packets = phase_packets(emb, n);
+    const StoreForwardSim flat(n, SimEngine::kFlatArena);
+    const StoreForwardSim soa(n, SimEngine::kSoa);
+
+    obs::ScopedTimer timer("simulate");
+    // One warm-up pair so neither engine pays the cold-cache/page-fault
+    // toll, then the measured pair.
+    (void)flat.run(packets);
+    (void)soa.run(packets);
+    const SimResult rf = flat.run(packets);
+    const SimResult rs = soa.run(packets);
+    if (rf.makespan != rs.makespan ||
+        rf.total_transmissions != rs.total_transmissions ||
+        rf.max_queue != rs.max_queue || rf.link_visits != rs.link_visits ||
+        rf.dim_transmissions != rs.dim_transmissions ||
+        rf.latency != rs.latency || rf.utilization != rs.utilization) {
+      std::fprintf(stderr, "FATAL: step-sweep engines disagree on n=%d\n", n);
+      std::exit(1);
+    }
+    const double pps_flat = rf.packet_steps_per_sec();
+    const double pps_soa = rs.packet_steps_per_sec();
+    t.row(n, packets.size(), rs.makespan, rf.elapsed_seconds * 1e3,
+          rs.elapsed_seconds * 1e3, rf.elapsed_seconds / rs.elapsed_seconds,
+          pps_flat / 1e6, pps_soa / 1e6);
+
+    const std::string sn = std::to_string(n);
+    reg.record_span("flatengine_serial_n" + sn, rf.elapsed_seconds);
+    reg.record_span("soa_serial_n" + sn, rs.elapsed_seconds);
+    reg.record_span("pps_flat_serial_n" + sn, pps_flat);
+    reg.record_span("pps_soa_serial_n" + sn, pps_soa);
+    report.metric("s4_makespan_n" + sn, rs.makespan);
+    report.metric("s4_hops_n" + sn, rs.total_transmissions);
+    report.metric("s4_link_visits_n" + sn, rs.link_visits);
+  }
+  t.print();
+  report.table(t);
+
+  // The same comparison end-to-end: a 1000-trial Q_10 Monte-Carlo fault
+  // campaign per engine (serial transport, threshold w-1, moderate
+  // transient-heavy intensity).  The campaign digest folds every field of
+  // every trial, so any behavioural difference anywhere in recovery —
+  // fates, truncation steps, retransmit scheduling — trips the gate.
+  const auto emb10 = [&] {
+    obs::ScopedTimer timer("construct");
+    return theorem1_cycle_embedding(10);
+  }();
+  CampaignConfig cfg;
+  cfg.seed = 2026;
+  cfg.trials = 1000;
+  cfg.schedule.window = 8;
+  cfg.schedule.link_rate = 0.05;
+  cfg.schedule.transient_fraction = 0.5;
+  cfg.recovery.timeout = 4;
+  cfg.recovery.max_retries = 5;
+  cfg.recovery.threshold = emb10.width() - 1;
+  cfg.live_metrics = false;
+
+  par::TaskPool pool(8);
+  par::PoolScope scope(pool);
+  const MonteCarloDriver driver(emb10);
+  obs::ScopedTimer timer("simulate");
+  cfg.recovery.engine = SimEngine::kFlatArena;
+  double s_mc_flat = 0;
+  CampaignStats mc_flat;
+  s_mc_flat = seconds_of([&] { mc_flat = driver.run(cfg); });
+  cfg.recovery.engine = SimEngine::kSoa;
+  double s_mc_soa = 0;
+  CampaignStats mc_soa;
+  s_mc_soa = seconds_of([&] { mc_soa = driver.run(cfg); });
+  if (mc_flat.digest != mc_soa.digest ||
+      mc_flat.messages_complete != mc_soa.messages_complete ||
+      mc_flat.retransmissions != mc_soa.retransmissions ||
+      mc_flat.fragments_lost != mc_soa.fragments_lost ||
+      mc_flat.max_makespan != mc_soa.max_makespan) {
+    std::fprintf(stderr,
+                 "FATAL: Monte-Carlo campaign diverges across engines "
+                 "(digests %016llx / %016llx)\n",
+                 static_cast<unsigned long long>(mc_flat.digest),
+                 static_cast<unsigned long long>(mc_soa.digest));
+    std::exit(1);
+  }
+  std::printf("S4 Monte-Carlo gate: Q_10 x %u trials, digest %016llx on "
+              "both engines (flat %.2fs, soa %.2fs)\n\n",
+              cfg.trials, static_cast<unsigned long long>(mc_soa.digest),
+              s_mc_flat, s_mc_soa);
+  reg.record_span("mc_flatengine_q10", s_mc_flat);
+  reg.record_span("mc_soa_q10", s_mc_soa);
+  // uint64 digests do not survive a JSON double round-trip (> 2^53): carry
+  // the gated value as two exact 32-bit halves.
+  report.metric("s4_mc_digest_hi", static_cast<std::uint64_t>(mc_soa.digest >> 32));
+  report.metric("s4_mc_digest_lo",
+                static_cast<std::uint64_t>(mc_soa.digest & 0xffffffffull));
+  report.metric("s4_mc_messages_complete", mc_soa.messages_complete);
+  report.metric("s4_mc_retransmissions", mc_soa.retransmissions);
+}
+
 void BM_FlatSerialPhase(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto emb = phase_embedding(n);
@@ -268,6 +384,7 @@ int main(int argc, char** argv) {
   hyperpath::print_store_forward_table(report);
   hyperpath::print_tracing_table(report);
   hyperpath::print_wormhole_table(report);
+  hyperpath::print_engine_table(report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -101,6 +101,14 @@ void TelemetryBus::enable(Config config) {
              "cannot open telemetry stream " + config_.jsonl_path);
     write_header_locked();
   }
+  // The live throughput gauge is created here, never inside sample() — the
+  // sampling path must not grow the registry (see the non-creating-reads
+  // comment there), so the registry contents are identical at any period.
+  pps_gauge_ = &MetricsRegistry::global().gauge("sim.packet_steps_per_sec");
+  pps_gauge_->set(0);
+  prev_tx_ = 0;
+  prev_wall_ = 0;
+  have_prev_ = false;
   period_.store(config_.period_steps, std::memory_order_relaxed);
 }
 
@@ -136,6 +144,25 @@ void TelemetryBus::sample(SimTelemetry&& sim) {
                        std::chrono::steady_clock::now() - t0_)
                        .count();
   s.sim = std::move(sim);
+  // Live throughput: simulated packet-steps/second since the previous
+  // sample (whole-run average at the first).  A transmissions counter
+  // below the previous sample's means a new run started; its cumulative
+  // count is the delta.  Derived from values already being sampled and
+  // never fed back into the simulation, so the zero-perturbation contract
+  // holds at any period.
+  {
+    const std::uint64_t tx = s.sim.transmissions;
+    const std::uint64_t dtx =
+        (have_prev_ && tx >= prev_tx_) ? tx - prev_tx_ : tx;
+    const double dwall =
+        have_prev_ ? s.wall_seconds - prev_wall_ : s.wall_seconds;
+    s.packet_steps_per_sec =
+        dwall > 0 ? static_cast<double>(dtx) / dwall : 0.0;
+    prev_tx_ = tx;
+    prev_wall_ = s.wall_seconds;
+    have_prev_ = true;
+    if (pps_gauge_ != nullptr) pps_gauge_->set(s.packet_steps_per_sec);
+  }
   if (provider) s.par = provider();
   // Non-creating reads: sampling must not grow the registry, or a traced
   // bench run would export different metric documents with telemetry on.
@@ -204,6 +231,7 @@ void TelemetryBus::write_sample_locked(const TelemetrySample& s) {
   w.field("max_queue_depth", s.sim.max_queue_depth);
   w.field("undelivered", s.sim.undelivered);
   w.field("transmissions", s.sim.transmissions);
+  w.field("packet_steps_per_sec", s.packet_steps_per_sec);
   w.key("depth_hist");
   s.sim.depth_hist.write_json(w);
   w.key("par").begin_object();

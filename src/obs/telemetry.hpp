@@ -80,6 +80,11 @@ using WorkerStatsProvider = std::function<WorkerSnapshot()>;
 struct TelemetrySample {
   std::uint64_t seq = 0;
   double wall_seconds = 0;  // since enable(); diagnostic only
+  /// Simulated packet-steps/second since the previous sample (whole-run
+  /// average at the first) — the live view of the simulators' first-class
+  /// throughput metric (SimResult::packet_steps_per_sec).  Wall-clock
+  /// derived, diagnostic only; never part of the determinism contract.
+  double packet_steps_per_sec = 0;
   SimTelemetry sim;
   WorkerSnapshot par;
   // Recovery-engine live counters (0 until a recovery run is in flight).
@@ -163,6 +168,13 @@ class TelemetryBus {
   std::uint64_t seq_ = 0;
   std::FILE* file_ = nullptr;
   std::chrono::steady_clock::time_point t0_{};
+  /// Live throughput gauge ("sim.packet_steps_per_sec"), created once at
+  /// enable() — the sampling path must never grow the registry.  Registry
+  /// entry addresses are stable, so the pointer stays valid.
+  Gauge* pps_gauge_ = nullptr;
+  std::uint64_t prev_tx_ = 0;   // transmissions at the previous sample
+  double prev_wall_ = 0;        // wall_seconds at the previous sample
+  bool have_prev_ = false;
 };
 
 /// Current resident-set size in kB via /proc/self/statm (0 where absent).

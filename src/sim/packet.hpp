@@ -16,6 +16,19 @@
 
 namespace hyperpath {
 
+/// Which step-sweep implementation a store-and-forward simulator runs.
+/// Both produce bit-identical SimResults and trace streams (the property
+/// suites enforce it); they differ only in speed.
+enum class SimEngine : std::uint8_t {
+  /// RoutePlan structure-of-arrays compilation + the templated branch-light
+  /// kernel (sim/step_kernel.hpp).  The default.
+  kSoa,
+  /// The retained flat-arena sweep that chases Packet routes and recomputes
+  /// edge ids per enqueue — kept selectable as the honest baseline for the
+  /// bench_simcore S4 speedup table.
+  kFlatArena,
+};
+
 /// One packet with a fixed route through the hypercube.
 struct Packet {
   HostPath route;     // node sequence; route.size() >= 1
@@ -76,7 +89,21 @@ struct SimResult {
   /// simulator leaves it 0.
   std::uint64_t link_visits = 0;
 
+  /// Wall-clock seconds the run spent, stamped by the simulator around its
+  /// whole run (setup + steps + drain).  Never part of the determinism
+  /// contract — every equivalence check compares the deterministic fields
+  /// individually and ignores this one.
+  double elapsed_seconds = 0;
+
   double average_utilization() const { return utilization.average(); }
+
+  /// First-class throughput metric: simulated packet-steps per wall-clock
+  /// second (total transmissions / elapsed).  0 when timing is unavailable.
+  double packet_steps_per_sec() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(total_transmissions) / elapsed_seconds
+               : 0.0;
+  }
 };
 
 /// Outcome of a run under a timed fault schedule (run_with_faults): the

@@ -1,6 +1,7 @@
 #include "sim/parallel_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include "par/task_pool.hpp"
 #include "sim/faults.hpp"
 #include "sim/simcore.hpp"
+#include "sim/step_kernel.hpp"
 
 namespace hyperpath {
 
@@ -86,6 +88,270 @@ class WorkerPool {
   bool stop_ = false;
 };
 
+/// The sharded step loop over the SoA route plan (step_kernel.hpp).  One
+/// flat arena shared by every shard: a link's queue state lives at its
+/// dense link id and is touched only by the shard that owns the link
+/// (link mod shards), so workers never contend.  Each shard keeps its own
+/// active worklist; arrivals and releases run on the main thread between
+/// rounds and append to the owning shard's list, which preserves exactly
+/// the serial simulator's per-link FIFO order.
+template <bool Traced, bool Faulted>
+SimResult run_parallel(const Hypercube& host, int shards,
+                       const std::vector<Packet>& packets, int max_steps,
+                       obs::TraceSink* sink,
+                       [[maybe_unused]] const FaultSchedule* schedule,
+                       [[maybe_unused]] bool announce_faults,
+                       FaultRunResult* fault_out) {
+  HP_PROFILE_SPAN("sim/parallel");
+  simcore::StepScratch& scratch = simcore::step_scratch();
+  simcore::RoutePlan& plan = scratch.plan;
+  const std::uint64_t num_links = host.num_directed_edges();
+  const int dims = host.dims();
+  obs::StepTrace trace(sink);
+
+  {
+    HP_PROFILE_SPAN("setup");
+    plan.rebuild(host, packets);  // validates; keeps capacity across runs
+    scratch.arena.reset(num_links, packets.size());
+    scratch.pending.clear();
+    scratch.hop.assign(packets.size(), 0);
+    scratch.moved_mask.assign((packets.size() + 63) / 64, 0);
+    if constexpr (Traced) scratch.highwater.assign(num_links, 0);
+  }
+
+  simcore::LinkFifoArena& arena = scratch.arena;
+  auto& pending = scratch.pending;
+  std::uint32_t* const hop = scratch.hop.data();
+  std::uint32_t* const highwater = scratch.highwater.data();
+  const std::uint32_t* const route_len = plan.route_len.data();
+  const std::uint32_t* const route_off = plan.route_offsets.data();
+  const std::uint32_t* const link_of_hop = plan.link_of_hop.data();
+  const std::uint32_t* const release = plan.release.data();
+
+  struct Shard {
+    std::vector<std::uint32_t> active;  // links this shard owns, nonempty
+    std::vector<std::uint32_t> moved;   // per-step output
+    std::uint64_t busy = 0;
+    std::uint64_t link_visits = 0;
+    // Whole-run accumulators, merged once after the loop.
+    std::uint32_t max_queue = 0;
+    std::vector<std::uint64_t> dim_tx;
+    // Tracing state: shard-local event buffer (per step).
+    std::vector<TraceEvent> events;
+  };
+  std::vector<Shard> shard(shards);
+  for (Shard& sh : shard) sh.dim_tx.assign(dims, 0);
+  const auto shard_of = [&](std::uint64_t link) {
+    return static_cast<int>(link % static_cast<std::uint64_t>(shards));
+  };
+
+  std::size_t undelivered = 0;
+
+  std::optional<FaultTimeline> timeline;
+  if constexpr (Faulted) timeline.emplace(*schedule);
+  if (fault_out != nullptr) {
+    fault_out->fates.assign(packets.size(), PacketFate{});
+  }
+
+  const auto enqueue = [&](std::uint32_t id) {
+    const std::uint64_t link = link_of_hop[route_off[id] + hop[id]];
+    arena.push_back(link, id, shard[shard_of(link)].active);
+    return link;
+  };
+
+  {
+    HP_PROFILE_SPAN("setup");
+    const std::uint32_t num_routes = plan.num_routes();
+    for (std::uint32_t id = 0; id < num_routes; ++id) {
+      if (route_len[id] == 0) continue;  // already at destination
+      ++undelivered;
+      if (release[id] == 0) {
+        const std::uint64_t link = enqueue(id);
+        if constexpr (Traced) {
+          trace.record({0, TraceEventKind::kRelease, id, link, 0});
+        }
+      } else {
+        pending.emplace_back(release[id], id);
+      }
+    }
+    std::sort(pending.begin(), pending.end());
+  }
+
+  SimResult result;
+  result.dim_transmissions.assign(dims, 0);
+  result.latency = obs::FixedHistogram::exponential();
+  const double total_links = static_cast<double>(num_links);
+  WorkerPool pool(shards);
+
+  int step = 0;
+  std::size_t next_release = 0;
+  std::vector<std::uint32_t>& moved = scratch.moved;  // merged arrivals
+  obs::TelemetryBus& telemetry = obs::TelemetryBus::global();
+  {
+  HP_PROFILE_SPAN("steps");
+  while (undelivered > 0) {
+    HP_CHECK(step < max_steps, "simulation exceeded max_steps");
+
+    // Scheduled faults and repairs fire first, on the main thread (workers
+    // are parked between rounds), exactly as in the serial simulator.
+    if constexpr (Faulted) {
+      const FaultTimeline::StepDelta& delta = timeline->advance_to(step);
+      if constexpr (Traced) {
+        if (announce_faults) {
+          for (std::uint64_t link : delta.died) {
+            trace.record({step, TraceEventKind::kFault, TraceEvent::kNoPacket,
+                          link, 0});
+          }
+          for (std::uint64_t link : delta.repaired) {
+            trace.record({step, TraceEventKind::kRepair,
+                          TraceEvent::kNoPacket, link, 0});
+          }
+        }
+      }
+    }
+
+    while (next_release < pending.size() &&
+           pending[next_release].first == static_cast<std::uint32_t>(step)) {
+      const std::uint32_t id = pending[next_release].second;
+      const std::uint64_t link = enqueue(id);
+      if constexpr (Traced) {
+        trace.record({step, TraceEventKind::kRelease, id, link, 0});
+      }
+      ++next_release;
+    }
+
+    // Truncation at dead links, main thread, sorted dead-link order —
+    // byte-identical drop stream to the serial simulator.  Stale worklist
+    // entries left by clear_link are compacted by this step's shard sweeps.
+    if constexpr (Faulted) {
+      if (!timeline->dead_links().empty()) {
+        for (const auto& [link, kills] : timeline->dead_links()) {
+          if (arena.empty(link)) continue;
+          arena.for_each(link, [&](std::uint32_t id) {
+            --undelivered;
+            if (fault_out != nullptr) {
+              fault_out->fates[id] = {PacketFate::Kind::kLost, step, link,
+                                      static_cast<int>(hop[id])};
+            }
+            if constexpr (Traced) {
+              trace.record({step, TraceEventKind::kDrop, id, link, hop[id]});
+            }
+          });
+          arena.clear_link(link);
+        }
+      }
+    }
+
+    // Parallel arbitration: each shard runs the shared step kernel over its
+    // own active worklist, recording queue statistics (and trace events)
+    // shard-locally.
+    pool.run_round([&](int s) {
+      Shard& sh = shard[s];
+      sh.moved.clear();
+      sh.events.clear();
+      const auto emit = [&](const TraceEvent& e) { sh.events.push_back(e); };
+      const simcore::SweepStats sweep = simcore::step_sweep<Traced, Faulted>(
+          arena, sh.active, sh.moved, sh.dim_tx.data(), dims, step, highwater,
+          simcore::FifoArbiter{}, emit);
+      sh.busy = sweep.busy;
+      sh.link_visits += sweep.link_visits;
+      if (sweep.max_queue > sh.max_queue) sh.max_queue = sweep.max_queue;
+    });
+
+    // Serial merge in canonical (packet-id) order — identical semantics to
+    // StoreForwardSim's sorted arrival pass.  Shard trace buffers are
+    // merged here too; StepTrace's canonical sort at end_step() makes the
+    // emitted stream independent of the sharding.
+    moved.clear();
+    std::uint64_t busy = 0;
+    for (const Shard& sh : shard) {
+      moved.insert(moved.end(), sh.moved.begin(), sh.moved.end());
+      busy += sh.busy;
+      if constexpr (Traced) {
+        trace.record(std::span<const TraceEvent>(sh.events));
+      }
+    }
+    simcore::sort_moved(moved, scratch.moved_mask);
+    result.total_transmissions += busy;
+
+    simcore::advance_hops(moved, hop);
+    for (const std::uint32_t id : moved) {
+      if (hop[id] == route_len[id]) {
+        --undelivered;
+        const std::uint64_t lat = static_cast<std::uint64_t>(
+            step + 1 - static_cast<int>(release[id]));
+        result.latency.observe(static_cast<double>(lat));
+        if constexpr (Faulted) {
+          if (fault_out != nullptr) {
+            fault_out->fates[id] = {PacketFate::Kind::kDelivered, step,
+                                    TraceEvent::kNoLink,
+                                    static_cast<int>(hop[id])};
+          }
+        }
+        if constexpr (Traced) {
+          trace.record({step, TraceEventKind::kArrive, id,
+                        TraceEvent::kNoLink, lat});
+        }
+      } else {
+        enqueue(id);
+      }
+    }
+
+    result.utilization.add(static_cast<double>(busy) / total_links);
+
+    // Telemetry sampling on the main thread, workers parked.  Each shard's
+    // active list yields its own depth histogram; shard-ordered
+    // FixedHistogram::merge makes the sample independent of the shard
+    // count and identical to the serial simulator's.
+    if (telemetry.should_sample(step)) {
+      obs::SimTelemetry t;
+      t.step = step;
+      t.undelivered = undelivered;
+      t.transmissions = result.total_transmissions;
+      t.depth_hist = obs::telemetry_depth_histogram();
+      for (const Shard& sh : shard) {
+        obs::FixedHistogram local = obs::telemetry_depth_histogram();
+        for (const std::uint32_t link : sh.active) {
+          const std::uint64_t d = arena.depth(link);
+          t.queued_packets += d;
+          t.max_queue_depth = std::max(t.max_queue_depth, d);
+          local.observe(static_cast<double>(d));
+        }
+        t.active_links += sh.active.size();
+        t.depth_hist.merge(local);
+      }
+      telemetry.sample(std::move(t));
+    }
+
+    trace.end_step();
+    ++step;
+  }
+  }
+
+  HP_PROFILE_SPAN("drain");
+  trace.finish();
+  result.makespan = step;
+  for (const Shard& sh : shard) {
+    // Depth accounting is uint32 in the core; widen once at the boundary.
+    result.max_queue =
+        std::max(result.max_queue, static_cast<std::size_t>(sh.max_queue));
+    result.link_visits += sh.link_visits;
+    for (int d = 0; d < dims; ++d) {
+      result.dim_transmissions[d] += sh.dim_tx[d];
+    }
+  }
+  if (fault_out != nullptr) {
+    for (const PacketFate& f : fault_out->fates) {
+      if (f.delivered()) {
+        ++fault_out->delivered;
+      } else {
+        ++fault_out->lost;
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 ParallelStoreForwardSim::ParallelStoreForwardSim(int dims, int threads)
@@ -121,274 +387,28 @@ SimResult ParallelStoreForwardSim::run_impl(const std::vector<Packet>& packets,
                                             const FaultSchedule* schedule,
                                             bool announce_faults,
                                             FaultRunResult* fault_out) const {
-  HP_PROFILE_SPAN("sim/parallel");
-  {
-    HP_PROFILE_SPAN("setup");
-    for (const Packet& p : packets) {
-      HP_CHECK(is_valid_path(host_, p.route), "packet route invalid");
-      HP_CHECK(p.release >= 0, "negative release time");
-    }
-  }
-
-  const int dims = host_.dims();
-  const int shards = threads_;
-
-  // One flat arena shared by every shard: a link's queue state lives at its
-  // dense link id and is touched only by the shard that owns the link
-  // (link mod shards), so workers never contend.  Each shard keeps its own
-  // active worklist; arrivals and releases run on the main thread between
-  // rounds and append to the owning shard's list, which preserves exactly
-  // the serial simulator's per-link FIFO order.
-  const std::uint64_t num_links = host_.num_directed_edges();
-  simcore::LinkFifoArena arena(num_links, packets.size());
-
-  obs::StepTrace trace(sink);
-  const bool tracing = trace.enabled();
-  // Per-link high-water marks, dense and shared: every link belongs to
-  // exactly one shard, so the marks match the serial simulator's exactly.
-  std::vector<std::uint64_t> highwater;
-  if (tracing) highwater.assign(num_links, 0);
-
-  struct Shard {
-    std::vector<std::uint64_t> active;  // links this shard owns, nonempty
-    std::vector<std::uint32_t> moved;   // per-step output
-    std::uint64_t busy = 0;
-    std::uint64_t link_visits = 0;
-    // Whole-run accumulators, merged once after the loop.
-    std::size_t max_queue = 0;
-    std::vector<std::uint64_t> dim_tx;
-    // Tracing state: shard-local event buffer (per step).
-    std::vector<TraceEvent> events;
-  };
-  std::vector<Shard> shard(shards);
-  for (Shard& sh : shard) sh.dim_tx.assign(dims, 0);
-  const auto shard_of = [&](std::uint64_t link) {
-    return static_cast<int>(link % static_cast<std::uint64_t>(shards));
-  };
-
-  std::vector<std::uint32_t> hop(packets.size(), 0);
-  std::size_t undelivered = 0;
-  std::vector<std::vector<std::uint32_t>> release_at;
-
-  std::optional<FaultTimeline> timeline;
-  if (schedule != nullptr) timeline.emplace(*schedule);
-  if (fault_out != nullptr) {
-    fault_out->fates.assign(packets.size(), PacketFate{});
-  }
-
-  const auto enqueue = [&](std::uint32_t id) {
-    const Packet& p = packets[id];
-    const std::uint64_t link =
-        host_.edge_id(p.route[hop[id]], p.route[hop[id] + 1]);
-    arena.push_back(link, id, shard[shard_of(link)].active);
-    return link;
-  };
-
-  {
-    HP_PROFILE_SPAN("setup");
-    for (std::uint32_t id = 0; id < packets.size(); ++id) {
-      const Packet& p = packets[id];
-      if (p.route.size() <= 1) continue;
-      ++undelivered;
-      if (p.release == 0) {
-        const std::uint64_t link = enqueue(id);
-        if (tracing) {
-          trace.record({0, TraceEventKind::kRelease, id, link, 0});
-        }
-      } else {
-        if (release_at.size() <= static_cast<std::size_t>(p.release)) {
-          release_at.resize(p.release + 1);
-        }
-        release_at[p.release].push_back(id);
-      }
-    }
-  }
-
+  const auto t0 = std::chrono::steady_clock::now();
   SimResult result;
-  result.dim_transmissions.assign(dims, 0);
-  result.latency = obs::FixedHistogram::exponential();
-  const double total_links = static_cast<double>(num_links);
-  WorkerPool pool(shards);
-
-  int step = 0;
-  std::vector<std::uint32_t> moved;  // merged arrivals, reused across steps
-  obs::TelemetryBus& telemetry = obs::TelemetryBus::global();
-  {
-  HP_PROFILE_SPAN("steps");
-  while (undelivered > 0) {
-    HP_CHECK(step < max_steps, "simulation exceeded max_steps");
-
-    // Scheduled faults and repairs fire first, on the main thread (workers
-    // are parked between rounds), exactly as in the serial simulator.
-    if (timeline) {
-      const FaultTimeline::StepDelta& delta = timeline->advance_to(step);
-      if (announce_faults && tracing) {
-        for (std::uint64_t link : delta.died) {
-          trace.record({step, TraceEventKind::kFault, TraceEvent::kNoPacket,
-                        link, 0});
-        }
-        for (std::uint64_t link : delta.repaired) {
-          trace.record({step, TraceEventKind::kRepair, TraceEvent::kNoPacket,
-                        link, 0});
-        }
-      }
-    }
-
-    if (static_cast<std::size_t>(step) < release_at.size()) {
-      for (std::uint32_t id : release_at[step]) {
-        const std::uint64_t link = enqueue(id);
-        if (tracing) {
-          trace.record({step, TraceEventKind::kRelease, id, link, 0});
-        }
-      }
-    }
-
-    // Truncation at dead links, main thread, sorted dead-link order —
-    // byte-identical drop stream to the serial simulator.  Stale worklist
-    // entries left by clear_link are compacted by this step's shard sweeps.
-    if (timeline && !timeline->dead_links().empty()) {
-      for (const auto& [link, kills] : timeline->dead_links()) {
-        if (arena.empty(link)) continue;
-        arena.for_each(link, [&](std::uint32_t id) {
-          --undelivered;
-          if (fault_out != nullptr) {
-            fault_out->fates[id] = {PacketFate::Kind::kLost, step, link,
-                                    static_cast<int>(hop[id])};
-          }
-          if (tracing) {
-            trace.record({step, TraceEventKind::kDrop, id, link, hop[id]});
-          }
-        });
-        arena.clear_link(link);
-      }
-    }
-
-    // Parallel arbitration: each shard sweeps its own active worklist,
-    // pops one packet per live link and records its queue statistics (and
-    // trace events) shard-locally.
-    pool.run_round([&](int s) {
-      Shard& sh = shard[s];
-      sh.moved.clear();
-      sh.busy = 0;
-      sh.events.clear();
-      std::size_t keep = 0;
-      for (std::size_t r = 0; r < sh.active.size(); ++r) {
-        const std::uint64_t link = sh.active[r];
-        ++sh.link_visits;
-        if (arena.empty(link)) continue;  // stale: emptied by the drop pass
-        const std::size_t depth = arena.depth(link);
-        sh.max_queue = std::max(sh.max_queue, depth);
-        if (tracing) {
-          std::uint64_t& high = highwater[link];
-          if (depth > high) {
-            high = depth;
-            sh.events.push_back({step, TraceEventKind::kQueueDepth,
-                                 TraceEvent::kNoPacket, link, depth});
-          }
-        }
-        const std::uint32_t pick = arena.pop_front(link);
-        ++sh.busy;
-        ++sh.dim_tx[link % dims];
-        if (tracing) {
-          sh.events.push_back(
-              {step, TraceEventKind::kTransmit, pick, link, depth});
-          if (depth > 1) {
-            sh.events.push_back({step, TraceEventKind::kStall,
-                                 TraceEvent::kNoPacket, link, depth - 1});
-          }
-        }
-        sh.moved.push_back(pick);
-        if (!arena.empty(link)) sh.active[keep++] = link;
-      }
-      sh.active.resize(keep);
-    });
-
-    // Serial merge in canonical (packet-id) order — identical semantics to
-    // StoreForwardSim's sorted arrival pass.  Shard trace buffers are
-    // merged here too; StepTrace's canonical sort at end_step() makes the
-    // emitted stream independent of the sharding.
-    moved.clear();
-    std::uint64_t busy = 0;
-    for (const Shard& sh : shard) {
-      moved.insert(moved.end(), sh.moved.begin(), sh.moved.end());
-      busy += sh.busy;
-      if (tracing) trace.record(std::span<const TraceEvent>(sh.events));
-    }
-    std::sort(moved.begin(), moved.end());
-    result.total_transmissions += busy;
-
-    for (std::uint32_t id : moved) {
-      ++hop[id];
-      const Packet& p = packets[id];
-      if (hop[id] + 1 == p.route.size()) {
-        --undelivered;
-        const std::uint64_t lat =
-            static_cast<std::uint64_t>(step + 1 - p.release);
-        result.latency.observe(static_cast<double>(lat));
-        if (fault_out != nullptr) {
-          fault_out->fates[id] = {PacketFate::Kind::kDelivered, step,
-                                  TraceEvent::kNoLink,
-                                  static_cast<int>(hop[id])};
-        }
-        if (tracing) {
-          trace.record({step, TraceEventKind::kArrive, id,
-                        TraceEvent::kNoLink, lat});
-        }
-      } else {
-        enqueue(id);
-      }
-    }
-
-    result.utilization.add(static_cast<double>(busy) / total_links);
-
-    // Telemetry sampling on the main thread, workers parked.  Each shard's
-    // active list yields its own depth histogram; shard-ordered
-    // FixedHistogram::merge makes the sample independent of the shard
-    // count and identical to the serial simulator's.
-    if (telemetry.should_sample(step)) {
-      obs::SimTelemetry t;
-      t.step = step;
-      t.undelivered = undelivered;
-      t.transmissions = result.total_transmissions;
-      t.depth_hist = obs::telemetry_depth_histogram();
-      for (const Shard& sh : shard) {
-        obs::FixedHistogram local = obs::telemetry_depth_histogram();
-        for (std::uint64_t link : sh.active) {
-          const std::uint64_t d = arena.depth(link);
-          t.queued_packets += d;
-          t.max_queue_depth = std::max(t.max_queue_depth, d);
-          local.observe(static_cast<double>(d));
-        }
-        t.active_links += sh.active.size();
-        t.depth_hist.merge(local);
-      }
-      telemetry.sample(std::move(t));
-    }
-
-    trace.end_step();
-    ++step;
+  if (sink != nullptr) {
+    result = schedule != nullptr
+                 ? run_parallel<true, true>(host_, threads_, packets,
+                                            max_steps, sink, schedule,
+                                            announce_faults, fault_out)
+                 : run_parallel<true, false>(host_, threads_, packets,
+                                             max_steps, sink, schedule,
+                                             announce_faults, fault_out);
+  } else {
+    result = schedule != nullptr
+                 ? run_parallel<false, true>(host_, threads_, packets,
+                                             max_steps, sink, schedule,
+                                             announce_faults, fault_out)
+                 : run_parallel<false, false>(host_, threads_, packets,
+                                              max_steps, sink, schedule,
+                                              announce_faults, fault_out);
   }
-  }
-
-  HP_PROFILE_SPAN("drain");
-  trace.finish();
-  result.makespan = step;
-  for (const Shard& sh : shard) {
-    result.max_queue = std::max(result.max_queue, sh.max_queue);
-    result.link_visits += sh.link_visits;
-    for (int d = 0; d < dims; ++d) {
-      result.dim_transmissions[d] += sh.dim_tx[d];
-    }
-  }
-  if (fault_out != nullptr) {
-    for (const PacketFate& f : fault_out->fates) {
-      if (f.delivered()) {
-        ++fault_out->delivered;
-      } else {
-        ++fault_out->lost;
-      }
-    }
-  }
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return result;
 }
 

@@ -90,7 +90,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
     live_complete = &reg->counter("recovery.messages_complete");
   }
 
-  const StoreForwardSim serial(dims);
+  const StoreForwardSim serial(dims, config.engine);
   const ParallelStoreForwardSim parallel(dims, config.threads);
 
   // The engine's own trace recorder (kRetransmit events).  Events of one

@@ -1,5 +1,8 @@
 #include "sim/simcore.hpp"
 
+#include "base/error.hpp"
+#include "sim/packet.hpp"
+
 namespace hyperpath::simcore {
 
 LinkFifoArena::LinkFifoArena(std::uint64_t num_links, std::size_t num_packets)
@@ -7,5 +10,77 @@ LinkFifoArena::LinkFifoArena(std::uint64_t num_links, std::size_t num_packets)
       tail_(num_links, kNil),
       depth_(num_links, 0),
       next_(num_packets, kNil) {}
+
+void LinkFifoArena::reset(std::uint64_t num_links, std::size_t num_packets) {
+  head_.assign(num_links, kNil);
+  tail_.assign(num_links, kNil);
+  depth_.assign(num_links, 0);
+  next_.assign(num_packets, kNil);
+}
+
+void RoutePlan::clear() {
+  route_nodes.clear();
+  route_offsets.clear();
+  link_of_hop.clear();
+  route_len.clear();
+  release.clear();
+}
+
+void RoutePlan::reserve(std::size_t routes, std::size_t total_nodes) {
+  route_nodes.reserve(total_nodes);
+  route_offsets.reserve(routes + 1);
+  link_of_hop.reserve(total_nodes);  // hops < nodes; one reserve covers both
+  route_len.reserve(routes);
+  release.reserve(routes);
+}
+
+void RoutePlan::add_route(const Hypercube& host, const HostPath& route,
+                          std::uint32_t release_step,
+                          const char* invalid_msg) {
+  HP_CHECK(is_valid_path(host, route), invalid_msg);
+  if (route_offsets.empty()) route_offsets.push_back(0);
+  route_nodes.insert(route_nodes.end(), route.begin(), route.end());
+  for (std::size_t h = 0; h + 1 < route.size(); ++h) {
+    link_of_hop.push_back(
+        static_cast<std::uint32_t>(host.edge_id(route[h], route[h + 1])));
+  }
+  route_offsets.push_back(static_cast<std::uint32_t>(link_of_hop.size()));
+  route_len.push_back(static_cast<std::uint32_t>(route.size() - 1));
+  release.push_back(release_step);
+}
+
+void RoutePlan::rebuild(const Hypercube& host,
+                        const std::vector<Packet>& packets) {
+  // Dense link ids must narrow to 32 bits (n·2^n < 2^32 ⇔ n ≤ 27).  Every
+  // supported workload is far inside this; the check makes the narrowing an
+  // error instead of silent truncation if that ever changes.
+  HP_CHECK(host.num_directed_edges() <= 0xffffffffull,
+           "route plan needs 32-bit link ids (hypercube too large)");
+  clear();
+  std::size_t total_nodes = 0;
+  for (const Packet& p : packets) total_nodes += p.route.size();
+  reserve(packets.size(), total_nodes);
+  for (const Packet& p : packets) {
+    // Same per-packet check order as the legacy setup path: a packet with a
+    // broken route AND a negative release reports the route first.  The
+    // narrowing cast is harmless when release < 0 — the check right after
+    // throws and the half-built plan is discarded.
+    add_route(host, p.route, static_cast<std::uint32_t>(p.release));
+    HP_CHECK(p.release >= 0, "negative release time");
+  }
+  if (route_offsets.empty()) route_offsets.push_back(0);
+}
+
+RoutePlan RoutePlan::compile(const Hypercube& host,
+                             const std::vector<Packet>& packets) {
+  RoutePlan plan;
+  plan.rebuild(host, packets);
+  return plan;
+}
+
+StepScratch& step_scratch() {
+  thread_local StepScratch scratch;
+  return scratch;
+}
 
 }  // namespace hyperpath::simcore

@@ -21,9 +21,30 @@
 //   * LinkBitmap — one bit per directed link; the wormhole simulator's
 //     held-route set (replacing an unordered_set of link ids).
 //
+//   * RoutePlan — the structure-of-arrays route compilation the step
+//     kernels run on.  Compiled once per run from the packet (or worm) set:
+//     every route's node sequence and per-hop dense link id live in flat
+//     arrays bracketed by route_offsets[], and route_len[]/release[] are
+//     parallel 32-bit arrays.  The step loop never touches a Packet again
+//     and never calls Hypercube::edge_id — the farthest-first key is the
+//     two-array read route_len[id] - hop[id], and an enqueue is the single
+//     load link_of_hop[route_offsets[id] + hop[id]].
+//
+//   * StepScratch — a thread-local, run-scoped scratch arena.  The hot
+//     setup path used to grow fresh std::vectors (moved, release lists,
+//     tracing high-water marks) on every run_impl call, which the
+//     Monte-Carlo campaign engine multiplies by thousands of trials; the
+//     scratch keeps the capacity across runs on the same thread.
+//
 // Memory: the arena is O(n·2^n) words per run (three 32-bit words per link,
 // one per packet) — ~12 MiB for Q_16, allocated once per run() and reused
 // across every step.  The simulators' dims stay well inside that regime.
+//
+// Width discipline: queue depths are uniformly std::uint32_t inside the
+// core (a queue can never hold more packets than the 32-bit packet ids that
+// exist); widening to std::size_t/std::uint64_t happens exactly once, at
+// the SimResult / telemetry boundary.  Debug builds assert the (absurd)
+// depth-overflow case instead of silently wrapping.
 //
 // Determinism: the arena itself is strictly FIFO-ordered and the worklist
 // preserves insertion order, so a sweep visits links in a deterministic
@@ -34,9 +55,18 @@
 // (reference_sim.hpp; tests/property/simcore_equiv_test.cpp enforces it).
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
+
+#include "graph/hypercube.hpp"
+
+namespace hyperpath {
+struct Packet;
+}
 
 namespace hyperpath::simcore {
 
@@ -51,22 +81,32 @@ class LinkFifoArena {
  public:
   LinkFifoArena(std::uint64_t num_links, std::size_t num_packets);
 
+  /// Re-dimensions and empties the arena without releasing capacity — the
+  /// run-scoped scratch reuse path (StepScratch) for workloads that run
+  /// thousands of short simulations (recovery waves, Monte-Carlo trials).
+  void reset(std::uint64_t num_links, std::size_t num_packets);
+
   bool empty(std::uint64_t link) const { return head_[link] == kNil; }
   std::uint32_t depth(std::uint64_t link) const { return depth_[link]; }
 
   /// Appends packet `id` to `link`'s queue.  When the queue was empty the
   /// link is pushed onto `worklist` — the caller-owned active set (the
-  /// parallel simulator passes its shard's list).  The caller must keep the
-  /// invariant that an empty link is never already on a live worklist; the
-  /// simulators get this for free because stale entries (queues emptied by
-  /// the fault-truncation pass) are compacted away by the same step's sweep,
-  /// before any enqueue runs.
-  void push_back(std::uint64_t link, std::uint32_t id,
-                 std::vector<std::uint64_t>& worklist) {
+  /// parallel simulator passes its shard's list; the SoA kernel passes a
+  /// 32-bit list, the retained flat-arena path a 64-bit one).  The caller
+  /// must keep the invariant that an empty link is never already on a live
+  /// worklist; the simulators get this for free because stale entries
+  /// (queues emptied by the fault-truncation pass) are compacted away by
+  /// the same step's sweep, before any enqueue runs.
+  template <typename Worklist>
+  void push_back(std::uint64_t link, std::uint32_t id, Worklist& worklist) {
+    // A queue deeper than the 32-bit id space is impossible (each packet
+    // waits in at most one queue); guard the wrap anyway in debug builds.
+    assert(depth_[link] != 0xffffffffu && "link queue depth overflow");
     next_[id] = kNil;
     if (head_[link] == kNil) {
       head_[link] = id;
-      worklist.push_back(link);
+      worklist.push_back(
+          static_cast<typename Worklist::value_type>(link));
     } else {
       next_[tail_[link]] = id;
     }
@@ -153,5 +193,86 @@ class LinkBitmap {
  private:
   std::vector<std::uint64_t> words_;
 };
+
+/// Structure-of-arrays compilation of a route set, built once per run.
+///
+/// Hops of route r are the dense 32-bit link ids
+///     link_of_hop[route_offsets[r] ... route_offsets[r] + route_len[r])
+/// and its node sequence is nodes(r).  route_len[r] and release[r] are
+/// parallel 32-bit arrays.  After compilation the step kernel reads only
+/// these flat arrays — it never touches a Packet and never recomputes
+/// Hypercube::edge_id.
+///
+/// Link ids are stored narrowed to 32 bits, which holds for every dimension
+/// this simulator targets (n·2^n < 2^32 up to n = 27); compile() checks it.
+class RoutePlan {
+ public:
+  /// Compiles (and validates) a packet set's routes.  Throws exactly the
+  /// validation errors of the simulators' legacy setup path: "packet route
+  /// invalid" and "negative release time".
+  static RoutePlan compile(const Hypercube& host,
+                           const std::vector<Packet>& packets);
+
+  /// In-place compile: clears and refills this plan, keeping vector
+  /// capacity — the StepScratch reuse path.  Same validation as compile().
+  void rebuild(const Hypercube& host, const std::vector<Packet>& packets);
+
+  /// Empties the plan, keeping capacity (scratch reuse across runs).
+  void clear();
+  void reserve(std::size_t routes, std::size_t total_nodes);
+
+  /// Validates and appends one route.  `invalid_msg` is the HP_CHECK text
+  /// raised on a malformed route — callers with their own vocabulary (the
+  /// wormhole simulator) pass theirs so error contracts survive unchanged.
+  void add_route(const Hypercube& host, const HostPath& route,
+                 std::uint32_t release_step,
+                 const char* invalid_msg = "packet route invalid");
+
+  std::uint32_t num_routes() const {
+    return static_cast<std::uint32_t>(route_len.size());
+  }
+
+  /// Node sequence of route r (route_len[r] + 1 nodes).  Nodes share the
+  /// hop offsets: route r's nodes start at route_offsets[r] + r, because
+  /// every preceding route stores exactly one more node than hops.
+  std::span<const Node> nodes(std::uint32_t r) const {
+    return {route_nodes.data() + route_offsets[r] + r, route_len[r] + 1u};
+  }
+
+  std::vector<Node> route_nodes;            // concatenated node sequences
+  std::vector<std::uint32_t> route_offsets; // per route into link_of_hop;
+                                            // size num_routes() + 1
+  std::vector<std::uint32_t> link_of_hop;   // dense link id per hop
+  std::vector<std::uint32_t> route_len;     // hops per route (nodes - 1)
+  std::vector<std::uint32_t> release;       // earliest step a route may move
+};
+
+/// Thread-local, run-scoped scratch arena for the SoA step path.  The hot
+/// setup path used to grow fresh vectors (moved, release lists, tracing
+/// high-water marks) on every run_impl call — the Monte-Carlo campaign
+/// engine and the recovery wave loop multiply that by thousands of short
+/// runs on the same pool thread.  Everything here is sized by prepare() and
+/// keeps its capacity across runs; correctness never depends on leftover
+/// contents.
+struct StepScratch {
+  RoutePlan plan;
+  LinkFifoArena arena{0, 0};
+  std::vector<std::uint32_t> active;  // serial active-link worklist
+  std::vector<std::uint32_t> moved;   // packets that advanced this step
+  /// One bit per packet, all-zero between sweeps: the counting-sort mask
+  /// step_kernel.hpp's sort_moved uses to order dense arrival batches.
+  std::vector<std::uint64_t> moved_mask;
+  std::vector<std::uint32_t> hop;     // per-route current hop index
+  /// Deferred releases as (release step, route id), sorted ascending — the
+  /// SoA replacement for the per-step bucket lists (release_at) of the
+  /// legacy path; a cursor walks it as steps advance.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pending;
+  std::vector<std::uint32_t> highwater;  // per-link, tracing runs only
+};
+
+/// The calling thread's scratch arena.  Thread-local, so concurrent
+/// Monte-Carlo trials each reuse their own; a simulator run owns it only
+/// for the duration of run_impl (simulators never nest runs on one thread).
+StepScratch& step_scratch();
 
 }  // namespace hyperpath::simcore

@@ -1,0 +1,181 @@
+// The templated branch-light step-sweep kernel shared by the serial and
+// parallel store-and-forward simulators.
+//
+// One sweep serves one worklist of active links: pop one packet per live
+// link, account the transmission, compact the worklist in place.  The two
+// template booleans select the specialization matrix:
+//
+//              Traced=false            Traced=true
+//   Faulted=false   tight hot loop         + high-water / transmit / stall
+//                    (no stale check,        events emitted through `emit`
+//                     no event code)
+//   Faulted=true    + stale-entry skip     full legacy behaviour
+//
+// * Traced compiles the event emission in or out.  With it out, the loop
+//   body is: depth read, running max, pop, dim counter, moved append,
+//   compaction — no allocation, no virtual call, no event construction.
+// * Faulted compiles the stale-worklist check in or out.  Stale entries
+//   exist only when the fault-truncation pass ran clear_link on a link that
+//   was on a worklist; a fault-free run can never produce one, so skipping
+//   the check is bit-identical there.  link_visits stays "entries visited,
+//   stale included" in both shapes — without faults every entry is live, so
+//   the hoisted `worklist.size()` is the same count the legacy per-entry
+//   increment produced.
+//
+// Arbitration is a functor so each policy instantiates its own loop:
+// FifoArbiter is a straight pop_front; FarthestFirstArbiter reads its key
+// from the RoutePlan's parallel arrays (route_len[id] - hop[id]) instead of
+// chasing Packet::route.
+//
+// The worklist element type is generic: the serial SoA path and the
+// parallel shards keep 32-bit link ids (RoutePlan guarantees links fit);
+// the retained flat-arena path keeps its original 64-bit lists.
+//
+// Determinism: the sweep visits the worklist in order and emits events in
+// deterministic order per worklist; everything order-sensitive downstream
+// (trace streams, arrivals) is canonically sorted by the callers exactly as
+// before, so both engines and every shard count produce identical results.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/simcore.hpp"
+
+namespace hyperpath::simcore {
+
+/// Outputs of one sweep over one worklist.
+struct SweepStats {
+  std::uint64_t busy = 0;         // transmissions performed
+  std::uint64_t link_visits = 0;  // worklist entries visited (stale incl.)
+  std::uint32_t max_queue = 0;    // deepest queue seen this sweep
+};
+
+/// FIFO arbitration: queue order (arrival time, ties by packet id).  Also
+/// the only policy the parallel shards run.
+struct FifoArbiter {
+  std::uint32_t operator()(LinkFifoArena& arena, std::uint64_t link) const {
+    return arena.pop_front(link);
+  }
+};
+
+/// Farthest-remaining-distance-first over the SoA plan: the key is the
+/// two-array read route_len[id] - hop[id]; ties go to queue order.
+struct FarthestFirstArbiter {
+  const std::uint32_t* route_len;
+  const std::uint32_t* hop;
+
+  std::uint32_t operator()(LinkFifoArena& arena, std::uint64_t link) const {
+    return arena.pop_max(link, [this](std::uint32_t id) {
+      return route_len[id] - hop[id];
+    });
+  }
+};
+
+/// Sweeps `worklist` once: per live link records queue statistics, emits
+/// trace events through `emit` (Traced only), pops one packet via
+/// `arbitrate`, appends it to `moved` and compacts the worklist in place so
+/// only still-nonempty links survive.  `highwater` (per-link, Traced only)
+/// and `dim_tx` (per-dimension transmission counters) are caller-owned.
+template <bool Traced, bool Faulted, typename Worklist, typename Arbiter,
+          typename EmitFn>
+inline SweepStats step_sweep(LinkFifoArena& arena, Worklist& worklist,
+                             std::vector<std::uint32_t>& moved,
+                             std::uint64_t* dim_tx, int dims,
+                             [[maybe_unused]] int step,
+                             [[maybe_unused]] std::uint32_t* highwater,
+                             Arbiter&& arbitrate,
+                             [[maybe_unused]] EmitFn&& emit) {
+  using obs::TraceEvent;
+  using obs::TraceEventKind;
+  SweepStats out;
+  std::size_t keep = 0;
+  const std::size_t count = worklist.size();
+  out.link_visits = static_cast<std::uint64_t>(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    const std::uint64_t link = worklist[r];
+    if constexpr (Faulted) {
+      if (arena.empty(link)) continue;  // stale: emptied by the drop pass
+    }
+    const std::uint32_t depth = arena.depth(link);
+    if (depth > out.max_queue) out.max_queue = depth;
+    if constexpr (Traced) {
+      std::uint32_t& high = highwater[link];
+      if (depth > high) {
+        high = depth;
+        emit(TraceEvent{step, TraceEventKind::kQueueDepth,
+                        TraceEvent::kNoPacket, link, depth});
+      }
+    }
+    const std::uint32_t pick = arbitrate(arena, link);
+    ++out.busy;
+    ++dim_tx[link % static_cast<std::uint64_t>(dims)];
+    if constexpr (Traced) {
+      emit(TraceEvent{step, TraceEventKind::kTransmit, pick, link, depth});
+      if (depth > 1) {
+        emit(TraceEvent{step, TraceEventKind::kStall, TraceEvent::kNoPacket,
+                        link, std::uint64_t{depth} - 1});
+      }
+    }
+    moved.push_back(pick);
+    if (!arena.empty(link)) {
+      worklist[keep++] = static_cast<typename Worklist::value_type>(link);
+    }
+  }
+  worklist.resize(keep);
+  return out;
+}
+
+/// Sorts the packet ids of `moved` ascending — the canonical arrival order.
+/// A packet rides at most one queue, so one sweep moves it at most once:
+/// the ids are distinct, which turns a one-bit-per-packet mask into an
+/// exact counting sort.  Set each id's bit (random writes, but the mask is
+/// only num_packets/8 bytes — L2-resident where the id vector is not), then
+/// one ascending word scan re-emits the ids in order and clears the mask
+/// behind itself.  `mask` must be all-zero on entry, sized to
+/// (num_packets + 63) / 64 words, and is all-zero again on return.
+///
+/// Dense sweeps (phase traffic moves most packets every step) sort in
+/// O(ids + words); sparse sweeps — a recovery wave trickling a handful of
+/// retransmitted fragments through a big cube — fall back to comparison
+/// sort, because the scan costs the id *range*, not the population.
+/// Either path yields the same ascending sequence, so the choice can never
+/// perturb results.
+inline void sort_moved(std::vector<std::uint32_t>& moved,
+                       std::vector<std::uint64_t>& mask) {
+  if (moved.size() < mask.size()) {
+    std::sort(moved.begin(), moved.end());
+    return;
+  }
+  for (const std::uint32_t id : moved) {
+    mask[id >> 6] |= std::uint64_t{1} << (id & 63);
+  }
+  std::size_t out = 0;
+  const std::size_t words = mask.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = mask[w];
+    if (bits == 0) continue;
+    mask[w] = 0;
+    const std::uint32_t base = static_cast<std::uint32_t>(w << 6);
+    do {
+      moved[out++] =
+          base + static_cast<std::uint32_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+    } while (bits != 0);
+  }
+}
+
+/// Batched hop advance of the arrival pass: every moved packet steps one
+/// hop before any delivery test or re-enqueue runs.  Kept a separate
+/// unit-stride loop so the compiler can vectorize the gather/increment/
+/// scatter independent of the re-enqueue's control flow.
+inline void advance_hops(const std::vector<std::uint32_t>& moved,
+                         std::uint32_t* hop) {
+  for (const std::uint32_t id : moved) ++hop[id];
+}
+
+}  // namespace hyperpath::simcore

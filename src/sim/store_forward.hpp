@@ -31,8 +31,14 @@ class FaultSchedule;
 
 class StoreForwardSim {
  public:
-  /// Simulates on Q_dims.
-  explicit StoreForwardSim(int dims);
+  /// Simulates on Q_dims.  `engine` selects the step-sweep implementation:
+  /// the default SoA route-plan kernel, or the retained flat-arena loop
+  /// (SimEngine::kFlatArena) kept as the honest baseline for the
+  /// bench_simcore S4 speedup table.  Both are bit-identical in results and
+  /// trace streams; the property suites enforce it.
+  explicit StoreForwardSim(int dims, SimEngine engine = SimEngine::kSoa);
+
+  SimEngine engine() const { return engine_; }
 
   /// Runs the packet set to completion and returns the measured result.
   /// Throws if any route is invalid or the simulation exceeds `max_steps`.
@@ -62,7 +68,15 @@ class StoreForwardSim {
                      const FaultSchedule* schedule, bool announce_faults,
                      FaultRunResult* fault_out) const;
 
+  /// The pre-RoutePlan sweep, retained verbatim (SimEngine::kFlatArena).
+  SimResult run_flat_impl(const std::vector<Packet>& packets,
+                          Arbitration policy, int max_steps,
+                          obs::TraceSink* sink, const FaultSchedule* schedule,
+                          bool announce_faults,
+                          FaultRunResult* fault_out) const;
+
   Hypercube host_;
+  SimEngine engine_;
 };
 
 }  // namespace hyperpath

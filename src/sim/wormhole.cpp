@@ -1,5 +1,8 @@
 #include "sim/wormhole.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "base/error.hpp"
 #include "obs/profile.hpp"
 #include "sim/simcore.hpp"
@@ -9,10 +12,17 @@ namespace hyperpath {
 using obs::TraceEvent;
 using obs::TraceEventKind;
 
-WormholeSim::WormholeSim(int dims) : host_(dims) {}
+namespace {
 
-WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
-                            obs::TraceSink* sink) const {
+/// The wormhole step loop over the SoA route plan: the acquisition scan
+/// (whole route free?) walks a contiguous slice of 32-bit link ids instead
+/// of recomputing Hypercube::edge_id per hop on every retry — the scan is
+/// the hot path, since a blocked worm repeats it every step until it
+/// starts.  Traced compiles the event emission in or out, exactly like the
+/// store-and-forward kernel's specializations.
+template <bool Traced>
+WormResult run_worm(const Hypercube& host, const std::vector<Worm>& worms,
+                    int max_steps, obs::TraceSink* sink) {
   HP_PROFILE_SPAN("sim/wormhole");
   WormResult result;
   result.completion.assign(worms.size(), 0);
@@ -21,29 +31,43 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
   // Held links as one bit per dense directed-link id, and the worm set as
   // two compacted worklists: `pending` (not yet started, ascending id — the
   // deterministic acquisition priority) and `inflight` (started, awaiting
-  // completion).  A step touches only live worms; the old implementation
-  // rescanned every worm — completed ones included — against an
-  // unordered_set of held links.
-  simcore::LinkBitmap held(host_.num_directed_edges());
+  // completion).  A step touches only live worms.
+  simcore::LinkBitmap held(host.num_directed_edges());
   std::vector<std::uint32_t> pending;
   std::vector<std::uint32_t> inflight;
   std::vector<int> completion_at(worms.size(), 0);
 
+  // Compile the worm routes into the thread's scratch RoutePlan (worms are
+  // not Packets, so the plan is assembled route by route).
+  simcore::RoutePlan& plan = simcore::step_scratch().plan;
   std::size_t active = 0;
   {
     HP_PROFILE_SPAN("setup");
+    plan.clear();
+    std::size_t total_nodes = 0;
+    for (const Worm& w : worms) total_nodes += w.route.size();
+    plan.reserve(worms.size(), total_nodes);
     for (const Worm& w : worms) {
-      HP_CHECK(is_valid_path(host_, w.route), "worm route invalid");
+      // Same per-worm check order as before: route, flits, release.  The
+      // narrowing release cast is harmless when release < 0 — the check
+      // below throws and the plan is discarded.
+      plan.add_route(host, w.route, static_cast<std::uint32_t>(w.release),
+                     "worm route invalid");
       HP_CHECK(w.flits >= 1, "worm needs at least one flit");
       HP_CHECK(w.release >= 0, "negative release time");
     }
     for (std::uint32_t i = 0; i < worms.size(); ++i) {
-      if (worms[i].route.size() > 1) {
+      if (plan.route_len[i] > 0) {
         pending.push_back(i);  // trivial routes need no link work
         ++active;
       }
     }
   }
+
+  const std::uint32_t* const route_len = plan.route_len.data();
+  const std::uint32_t* const route_off = plan.route_offsets.data();
+  const std::uint32_t* const link_of_hop = plan.link_of_hop.data();
+  const std::uint32_t* const release = plan.release.data();
 
   int step = 0;
   {
@@ -61,45 +85,45 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
     std::size_t keep = 0;
     for (std::size_t r = 0; r < pending.size(); ++r) {
       const std::uint32_t i = pending[r];
-      const Worm& w = worms[i];
-      if (w.release >= step) {
+      if (static_cast<int>(release[i]) >= step) {
         pending[keep++] = i;
         continue;
       }
+      const std::uint32_t len = route_len[i];
+      const std::uint32_t* const links = link_of_hop + route_off[i];
       bool free = true;
       std::uint64_t blocked_on = TraceEvent::kNoLink;
-      for (std::size_t h = 0; free && h + 1 < w.route.size(); ++h) {
-        const std::uint64_t link = host_.edge_id(w.route[h], w.route[h + 1]);
-        if (held.test(link)) {
+      for (std::uint32_t h = 0; h < len; ++h) {
+        if (held.test(links[h])) {
           free = false;
-          blocked_on = link;
+          blocked_on = links[h];  // first busy link, as before
+          break;
         }
       }
       if (!free) {
-        if (trace.enabled()) {
+        if constexpr (Traced) {
           trace.record({step, TraceEventKind::kStall, i, blocked_on, 0});
         }
         pending[keep++] = i;
         continue;
       }
-      const int links = static_cast<int>(w.route.size()) - 1;
-      for (std::size_t h = 0; h + 1 < w.route.size(); ++h) {
-        const std::uint64_t link = host_.edge_id(w.route[h], w.route[h + 1]);
-        held.set(link);
-        if (trace.enabled()) {
-          trace.record({step, TraceEventKind::kTransmit, i, link,
-                        static_cast<std::uint64_t>(w.flits)});
+      const int flits = worms[i].flits;
+      for (std::uint32_t h = 0; h < len; ++h) {
+        held.set(links[h]);
+        if constexpr (Traced) {
+          trace.record({step, TraceEventKind::kTransmit, i, links[h],
+                        static_cast<std::uint64_t>(flits)});
         }
       }
-      completion_at[i] = step + links + w.flits - 2;
+      completion_at[i] = step + static_cast<int>(len) + flits - 2;
       inflight.push_back(i);
-      if (trace.enabled()) {
+      if constexpr (Traced) {
         trace.record({step, TraceEventKind::kWormStart, i,
                       TraceEvent::kNoLink,
-                      static_cast<std::uint64_t>(w.flits)});
+                      static_cast<std::uint64_t>(flits)});
       }
       result.total_flit_hops +=
-          static_cast<std::uint64_t>(w.flits) * static_cast<std::uint64_t>(links);
+          static_cast<std::uint64_t>(flits) * static_cast<std::uint64_t>(len);
     }
     pending.resize(keep);
 
@@ -116,13 +140,15 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
         continue;
       }
       result.completion[i] = step;
-      if (trace.enabled()) {
+      if constexpr (Traced) {
         trace.record({step, TraceEventKind::kWormDone, i,
                       TraceEvent::kNoLink,
-                      static_cast<std::uint64_t>(step - worms[i].release)});
+                      static_cast<std::uint64_t>(
+                          step - static_cast<int>(release[i]))});
       }
-      for (std::size_t h = 0; h + 1 < worms[i].route.size(); ++h) {
-        held.clear(host_.edge_id(worms[i].route[h], worms[i].route[h + 1]));
+      const std::uint32_t* const links = link_of_hop + route_off[i];
+      for (std::uint32_t h = 0; h < route_len[i]; ++h) {
+        held.clear(links[h]);
       }
       --active;
     }
@@ -134,6 +160,22 @@ WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
   HP_PROFILE_SPAN("drain");
   trace.finish();
   result.makespan = step;
+  return result;
+}
+
+}  // namespace
+
+WormholeSim::WormholeSim(int dims) : host_(dims) {}
+
+WormResult WormholeSim::run(const std::vector<Worm>& worms, int max_steps,
+                            obs::TraceSink* sink) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  WormResult result = sink != nullptr
+                          ? run_worm<true>(host_, worms, max_steps, sink)
+                          : run_worm<false>(host_, worms, max_steps, sink);
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return result;
 }
 

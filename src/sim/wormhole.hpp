@@ -40,6 +40,18 @@ struct WormResult {
   int makespan = 0;
   std::vector<int> completion;  // per message; 0 for trivial routes
   std::uint64_t total_flit_hops = 0;
+
+  /// Wall-clock seconds of the run.  Never part of the determinism
+  /// contract; equivalence checks compare the fields above individually.
+  double elapsed_seconds = 0;
+
+  /// Throughput analog of SimResult::packet_steps_per_sec for the wormhole
+  /// model: simulated flit-hops per wall-clock second.
+  double flit_hops_per_sec() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(total_flit_hops) / elapsed_seconds
+               : 0.0;
+  }
 };
 
 class WormholeSim {

@@ -73,6 +73,35 @@ TEST(Telemetry, SampleIsDroppedWhenDisabled) {
   EXPECT_TRUE(bus.snapshot().empty());
 }
 
+TEST(Telemetry, SamplesCarryThroughputAndMirrorTheGauge) {
+  TelemetryBus bus;
+  TelemetryBus::Config cfg;
+  cfg.period_steps = 1;
+  bus.enable(cfg);
+  // enable() must pre-create the live throughput gauge and zero it — the
+  // sampling path is contractually non-creating.
+  obs::Gauge& pps = obs::MetricsRegistry::global().gauge(
+      "sim.packet_steps_per_sec");
+  EXPECT_EQ(pps.value(), 0.0);
+
+  SimTelemetry t = sim_at_step(0);
+  t.transmissions = 5000;
+  bus.sample(std::move(t));  // first sample: whole-run average since enable
+  const auto snap = bus.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_GT(snap[0].packet_steps_per_sec, 0.0);
+  EXPECT_EQ(pps.value(), snap[0].packet_steps_per_sec);
+
+  // A transmissions counter below the previous sample's means a new run
+  // started; the cumulative count is the delta (never a negative rate).
+  SimTelemetry fresh = sim_at_step(1);
+  fresh.transmissions = 10;
+  bus.sample(std::move(fresh));
+  const auto snap2 = bus.snapshot();
+  ASSERT_EQ(snap2.size(), 2u);
+  EXPECT_GE(snap2[1].packet_steps_per_sec, 0.0);
+}
+
 TEST(Telemetry, RingKeepsNewestSamplesOldestFirst) {
   TelemetryBus bus;
   TelemetryBus::Config cfg;

@@ -125,6 +125,51 @@ TEST_P(SimcoreEquiv, SerialMatchesReferenceUnderFaults) {
   }
 }
 
+TEST_P(SimcoreEquiv, SoaEngineMatchesFlatArenaBothPolicies) {
+  Rng rng(GetParam() ^ 0x50A0);
+  const int dims = 3 + static_cast<int>(rng.below(5));
+  const auto packets = random_packets(dims, 150, rng, 6);
+  const StoreForwardSim soa(dims, SimEngine::kSoa);
+  const StoreForwardSim flat(dims, SimEngine::kFlatArena);
+  for (auto policy : {Arbitration::kFifo, Arbitration::kFarthestFirst}) {
+    RingBufferSink soa_sink, flat_sink;
+    const auto a = soa.run(packets, policy, 1 << 22, &soa_sink);
+    const auto b = flat.run(packets, policy, 1 << 22, &flat_sink);
+    expect_same_result(a, b);
+    // Even the active-set accounting agrees: both engines walk the same
+    // worklist discipline, so the S4 speedup table's FATAL gate on
+    // link_visits is backed by this property.
+    EXPECT_EQ(a.link_visits, b.link_visits);
+    expect_same_trace(soa_sink, flat_sink);
+    // Throughput is first-class but never part of the determinism
+    // contract: both runs must stamp it, and nothing above compared it.
+    EXPECT_GT(a.elapsed_seconds, 0.0);
+    EXPECT_GT(b.elapsed_seconds, 0.0);
+    if (a.total_transmissions > 0) {
+      EXPECT_GT(a.packet_steps_per_sec(), 0.0);
+    }
+  }
+}
+
+TEST_P(SimcoreEquiv, SoaEngineMatchesFlatArenaUnderFaults) {
+  Rng rng(GetParam() ^ 0x50A1);
+  const int dims = 4 + static_cast<int>(rng.below(3));
+  const auto packets = random_packets(dims, 120, rng, 4);
+  const auto sched = random_schedule(dims, rng);
+  for (auto policy : {Arbitration::kFifo, Arbitration::kFarthestFirst}) {
+    RingBufferSink soa_sink, flat_sink;
+    const auto a = StoreForwardSim(dims, SimEngine::kSoa)
+                       .run_with_faults(packets, sched, policy, 1 << 22,
+                                        &soa_sink);
+    const auto b = StoreForwardSim(dims, SimEngine::kFlatArena)
+                       .run_with_faults(packets, sched, policy, 1 << 22,
+                                        &flat_sink);
+    expect_same_fault_result(a, b);
+    EXPECT_EQ(a.sim.link_visits, b.sim.link_visits);
+    expect_same_trace(soa_sink, flat_sink);
+  }
+}
+
 TEST_P(SimcoreEquiv, ParallelMatchesReferenceAcrossThreadCounts) {
   Rng rng(GetParam() ^ 0x9E3779B9);
   const int dims = 4 + static_cast<int>(rng.below(3));

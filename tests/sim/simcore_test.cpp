@@ -6,7 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
 #include "sim/faults.hpp"
+#include "sim/step_kernel.hpp"
 #include "sim/store_forward.hpp"
 #include "sim/workloads.hpp"
 
@@ -173,6 +181,216 @@ TEST(ActiveSetRegression, DroppedQueuesLeaveNoLingeringCost) {
   // the walker's tail — far below pile * walk_hops.
   EXPECT_LT(r.sim.link_visits, static_cast<std::uint64_t>(pile));
   EXPECT_EQ(r.sim.makespan, 3 + walk_hops);
+}
+
+TEST(RoutePlan, CompileLaysOutHopsNodesAndReleases) {
+  const Hypercube q(4);
+  std::vector<Packet> packets;
+  packets.push_back({ecube_route(q, 0, 11), 0, 0});   // multi-hop
+  packets.push_back({ecube_route(q, 5, 5), 3, 0});    // trivial (0 hops)
+  packets.push_back({zigzag_walk(2, 6), 1, 0});       // non-geodesic walk
+  const auto plan = simcore::RoutePlan::compile(q, packets);
+
+  ASSERT_EQ(plan.num_routes(), packets.size());
+  ASSERT_EQ(plan.route_offsets.size(), packets.size() + 1);
+  EXPECT_EQ(plan.route_offsets.front(), 0u);
+  std::size_t total_hops = 0;
+  for (std::uint32_t r = 0; r < plan.num_routes(); ++r) {
+    const HostPath& route = packets[r].route;
+    ASSERT_EQ(plan.route_len[r], route.size() - 1) << "route " << r;
+    EXPECT_EQ(plan.release[r], static_cast<std::uint32_t>(packets[r].release));
+    EXPECT_EQ(plan.route_offsets[r + 1] - plan.route_offsets[r],
+              plan.route_len[r]);
+    // The node span shares the hop offsets (nodes start at offset + r).
+    const auto nodes = plan.nodes(r);
+    ASSERT_EQ(nodes.size(), route.size());
+    EXPECT_TRUE(std::equal(nodes.begin(), nodes.end(), route.begin()));
+    // Each hop's dense link id is exactly Hypercube::edge_id — the kernel
+    // never recomputes it, so compile must get every one right.
+    for (std::uint32_t h = 0; h < plan.route_len[r]; ++h) {
+      EXPECT_EQ(plan.link_of_hop[plan.route_offsets[r] + h],
+                q.edge_id(route[h], route[h + 1]))
+          << "route " << r << " hop " << h;
+    }
+    total_hops += plan.route_len[r];
+  }
+  EXPECT_EQ(plan.link_of_hop.size(), total_hops);
+  EXPECT_EQ(plan.route_offsets.back(), total_hops);
+}
+
+TEST(RoutePlan, EmptyPacketSetCompilesToEmptyPlan) {
+  const auto plan = simcore::RoutePlan::compile(Hypercube(3), {});
+  EXPECT_EQ(plan.num_routes(), 0u);
+  ASSERT_EQ(plan.route_offsets.size(), 1u);
+  EXPECT_EQ(plan.route_offsets.front(), 0u);
+}
+
+TEST(RoutePlan, ReportsInvalidRouteBeforeNegativeRelease) {
+  const Hypercube q(3);
+  // Nodes 0 and 3 differ in two bits: not a hypercube edge.  The broken
+  // route must win over the negative release — the legacy setup paths
+  // checked in that order and callers pin the message.
+  Packet bad;
+  bad.route = {Node{0}, Node{3}};
+  bad.release = -1;
+  try {
+    simcore::RoutePlan::compile(q, {bad});
+    FAIL() << "invalid route accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("packet route invalid"),
+              std::string::npos)
+        << e.what();
+  }
+  Packet late;
+  late.route = ecube_route(q, 0, 1);
+  late.release = -1;
+  try {
+    simcore::RoutePlan::compile(q, {late});
+    FAIL() << "negative release accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("negative release time"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RoutePlan, RebuildReusesCapacityAndMatchesFreshCompile) {
+  const Hypercube q(5);
+  Rng rng(41);
+  std::vector<Packet> big;
+  for (int i = 0; i < 200; ++i) {
+    const Node s = static_cast<Node>(rng.below(q.num_nodes()));
+    const Node d = static_cast<Node>(rng.below(q.num_nodes()));
+    big.push_back({ecube_route(q, s, d), static_cast<int>(rng.below(4)), 0});
+  }
+  std::vector<Packet> small(big.begin(), big.begin() + 7);
+
+  simcore::RoutePlan plan;
+  plan.rebuild(q, big);
+  const std::size_t nodes_cap = plan.route_nodes.capacity();
+  const std::size_t hops_cap = plan.link_of_hop.capacity();
+  const std::size_t offsets_cap = plan.route_offsets.capacity();
+
+  // Rebuilding with a smaller set must not shed capacity (the StepScratch
+  // reuse contract: recovery waves and Monte-Carlo trials rebuild
+  // thousands of times on one thread without reallocating).
+  plan.rebuild(q, small);
+  EXPECT_EQ(plan.route_nodes.capacity(), nodes_cap);
+  EXPECT_EQ(plan.link_of_hop.capacity(), hops_cap);
+  EXPECT_EQ(plan.route_offsets.capacity(), offsets_cap);
+
+  const auto fresh = simcore::RoutePlan::compile(q, small);
+  EXPECT_EQ(plan.route_nodes, fresh.route_nodes);
+  EXPECT_EQ(plan.route_offsets, fresh.route_offsets);
+  EXPECT_EQ(plan.link_of_hop, fresh.link_of_hop);
+  EXPECT_EQ(plan.route_len, fresh.route_len);
+  EXPECT_EQ(plan.release, fresh.release);
+}
+
+TEST(StepKernel, SortMovedMatchesStdSortOnBothPathsAndClearsMask) {
+  Rng rng(0x5027);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint32_t universe = 64 + static_cast<std::uint32_t>(
+                                            rng.below(5000));
+    const std::size_t words = (universe + 63) / 64;
+    // Even trials stay under one id per mask word (the std::sort fallback
+    // for sparse recovery waves); odd trials force the dense counting path.
+    const std::size_t count =
+        trial % 2 == 0 ? rng.below(words)
+                       : words + rng.below(universe - words);
+    std::vector<std::uint32_t> pool(universe);
+    std::iota(pool.begin(), pool.end(), 0u);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::swap(pool[i], pool[i + rng.below(universe - i)]);
+    }
+    std::vector<std::uint32_t> moved(pool.begin(), pool.begin() + count);
+    std::vector<std::uint32_t> expected = moved;
+    std::sort(expected.begin(), expected.end());
+
+    std::vector<std::uint64_t> mask(words, 0);
+    simcore::sort_moved(moved, mask);
+    EXPECT_EQ(moved, expected) << "trial " << trial;
+    // The mask must come back all-zero — sort_moved's own precondition for
+    // the next sweep.
+    for (const std::uint64_t w : mask) ASSERT_EQ(w, 0u) << "trial " << trial;
+  }
+}
+
+TEST(ActiveSetProperty, ClearLinkStaleEntriesCompactInExactlyOneSweep) {
+  // Randomized model of the simulators' worklist discipline: each step
+  // clears some nonempty links (the fault-truncation pass), sweeps with
+  // in-place compaction, then enqueues fresh packets.  The invariants under
+  // test: every stale entry is visited exactly once (the sweep that drops
+  // it), a stale entry only ever comes from clear_link, and after
+  // compaction the worklist is exactly the set of nonempty links with no
+  // duplicates — the precondition push_back's registration relies on.
+  Rng rng(20260808);
+  constexpr std::uint64_t kLinks = 48;
+  constexpr std::uint32_t kPackets = 192;
+  for (int trial = 0; trial < 20; ++trial) {
+    simcore::LinkFifoArena arena(kLinks, kPackets);
+    std::vector<std::uint32_t> worklist;
+    std::vector<std::uint32_t> free_ids(kPackets);
+    std::iota(free_ids.begin(), free_ids.end(), 0u);
+
+    const auto enqueue_some = [&] {
+      const int count = static_cast<int>(rng.below(40));
+      for (int i = 0; i < count && !free_ids.empty(); ++i) {
+        const std::size_t pick = rng.below(free_ids.size());
+        const std::uint32_t id = free_ids[pick];
+        free_ids[pick] = free_ids.back();
+        free_ids.pop_back();
+        arena.push_back(rng.below(kLinks), id, worklist);
+      }
+    };
+    enqueue_some();
+
+    for (int step = 0; step < 30; ++step) {
+      // Fault truncation: each cleared nonempty link strands exactly one
+      // worklist entry (nonempty links sit on the worklist exactly once).
+      std::set<std::uint32_t> cleared;
+      const int clears = static_cast<int>(rng.below(6));
+      for (int i = 0; i < clears; ++i) {
+        const std::uint64_t link = rng.below(kLinks);
+        if (arena.empty(link)) continue;
+        arena.for_each(link,
+                       [&](std::uint32_t id) { free_ids.push_back(id); });
+        arena.clear_link(link);
+        cleared.insert(static_cast<std::uint32_t>(link));
+      }
+
+      // The sweep, as the kernels run it: serve one packet per live link,
+      // compact in place, drop drained and stale entries.
+      std::set<std::uint32_t> stale_seen;
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < worklist.size(); ++i) {
+        const std::uint32_t link = worklist[i];
+        if (arena.empty(link)) {
+          EXPECT_TRUE(cleared.count(link))
+              << "stale entry for link " << link << " without a clear_link";
+          EXPECT_TRUE(stale_seen.insert(link).second)
+              << "stale link " << link << " visited twice in one sweep";
+          continue;
+        }
+        free_ids.push_back(arena.pop_front(link));
+        if (!arena.empty(link)) worklist[out++] = link;
+      }
+      worklist.resize(out);
+      // Every clear produced exactly one stale visit — no more, no fewer.
+      EXPECT_EQ(stale_seen, cleared) << "step " << step;
+
+      // Post-compaction the worklist is precisely the nonempty links.
+      const std::set<std::uint32_t> live(worklist.begin(), worklist.end());
+      EXPECT_EQ(live.size(), worklist.size()) << "duplicate worklist entry";
+      for (std::uint64_t link = 0; link < kLinks; ++link) {
+        EXPECT_EQ(!arena.empty(link),
+                  live.count(static_cast<std::uint32_t>(link)) == 1u)
+            << "link " << link << " at step " << step;
+      }
+
+      enqueue_some();
+    }
+  }
 }
 
 }  // namespace

@@ -154,6 +154,29 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", v.c_str());
   }
 
+  // Throughput of the newest comparable run: "pps_*" spans carry simulated
+  // packet-steps/second (SimResult::packet_steps_per_sec recorded by the
+  // benches) rather than seconds — surfaced here so the ledger answers
+  // "how fast is the simulator today" without opening the suite JSON.
+  std::vector<std::pair<std::string, double>> throughput;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (hyperpath::obs::comparison_key(*it) != report.key) continue;
+    for (const auto& [name, value] : it->timings) {
+      const std::size_t dot = name.find('.');
+      if (dot != std::string::npos &&
+          name.compare(dot + 1, 4, "pps_") == 0) {
+        throughput.emplace_back(name, value);
+      }
+    }
+    break;
+  }
+  if (!throughput.empty()) {
+    std::printf("throughput (newest run):\n");
+    for (const auto& [name, value] : throughput) {
+      std::printf("  %-48s %12.0f packet-steps/s\n", name.c_str(), value);
+    }
+  }
+
   if (json) {
     if (json_path.empty()) json_path = "TREND_REPORT.json";
     hyperpath::obs::JsonWriter w;
@@ -175,6 +198,9 @@ int main(int argc, char** argv) {
     w.key("skipped_keys").begin_array();
     for (const std::string& k : report.skipped_keys) w.value(k);
     w.end_array();
+    w.key("throughput").begin_object();
+    for (const auto& [name, value] : throughput) w.field(name, value);
+    w.end_object();
     w.end_object();
     std::ofstream out(json_path);
     out << w.str() << "\n";

@@ -128,6 +128,27 @@ inline void watch_render(const WatchFrame& frame, const std::string& path) {
       watch_num(s, "active_links"), watch_num(s, "max_queue_depth"),
       watch_num(s, "undelivered"), watch_num(s, "transmissions"));
 
+  // Live throughput: the producer stamps packet_steps_per_sec directly;
+  // streams from older builds lack the field, so fall back to the delta of
+  // cumulative transmissions over wall-clock across the last two samples.
+  double pps = watch_num(s, "packet_steps_per_sec");
+  if (s.find("packet_steps_per_sec") == nullptr &&
+      frame.samples.size() >= 2) {
+    const obs::JsonValue& prev = frame.samples[frame.samples.size() - 2];
+    const double dtx =
+        watch_num(s, "transmissions") - watch_num(prev, "transmissions");
+    const double dt =
+        watch_num(s, "wall_seconds") - watch_num(prev, "wall_seconds");
+    if (dtx >= 0 && dt > 0) pps = dtx / dt;
+  }
+  if (pps > 0) {
+    if (pps >= 1e6) {
+      std::printf("throughput %8.2f M packet-steps/s\n", pps / 1e6);
+    } else {
+      std::printf("throughput %10.0f packet-steps/s\n", pps);
+    }
+  }
+
   // Queue-depth histogram of the newest sample: one bar per bucket, scaled
   // to the fullest bucket.
   const obs::JsonValue* bounds = s.find("depth_hist", "bounds");
