@@ -13,6 +13,11 @@
 // Equivalently H_k(i) = i ^ (i >> 1) (the classical Gray code value) and
 // G_k(i) = ctz(i+1) for i < 2^k - 1, G_k(2^k - 1) = k - 1.  Both forms are
 // provided; tests cross-check them against the recursive definition.
+//
+// Width discipline: ranks/step indices are uniformly 64-bit (2^k steps for
+// k up to 30 approach the 32-bit edge of what a walk can index; derived
+// quantities like dense link ids n·2^n overflow uint32 outright past
+// n = 27).  Node values stay 32-bit — hosts stop at Q_30.
 #pragma once
 
 #include <cstdint>

@@ -19,6 +19,8 @@ namespace hyperpath {
 
 /// M(v): XOR of the positions of the set bits of v.
 /// The result fits in ceil_log2(n) bits when v has n bit positions.
+/// 32-bit in and out is exact for every supported host (n <= 30): moments
+/// are functions of *addresses*, never of 64-bit guest/edge ids.
 Node moment(Node v);
 
 /// The moment reduced modulo m — the paper selects "directed cycle number

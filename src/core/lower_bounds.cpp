@@ -1,5 +1,10 @@
 #include "core/lower_bounds.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "base/bits.hpp"
 #include "base/error.hpp"
 
 namespace hyperpath {
@@ -38,6 +43,39 @@ PhaseCongestionBounds phase_congestion_bounds(const MultiPathEmbedding& emb,
   const std::int64_t per_path =
       (packets_per_edge + width - 1) / width;  // ⌈p / w⌉ via round-robin
   b.ceiling = static_cast<std::int64_t>(emb.congestion()) * per_path;
+  return b;
+}
+
+OraclePhaseFloor oracle_phase_floor(const PathOracle& oracle,
+                                    std::span<const OracleEdge> edges,
+                                    int packets_per_edge) {
+  HP_CHECK(packets_per_edge >= 1, "need at least one packet per edge");
+  OraclePhaseFloor b;
+  const int n = oracle.host_dims();
+  std::vector<Node> sources;
+  sources.reserve(edges.size());
+  for (const OracleEdge& e : edges) {
+    const Node hu = oracle.host_of(e.from);
+    const Node hv = oracle.host_of(e.to);
+    b.demand_edges += static_cast<std::int64_t>(packets_per_edge) *
+                      std::popcount(hu ^ hv);
+    sources.push_back(hu);
+  }
+  const std::int64_t links =
+      static_cast<std::int64_t>(n) * static_cast<std::int64_t>(pow2(n));
+  b.floor = (b.demand_edges + links - 1) / links;
+  // Source cut: the longest run in the sorted image list is the busiest
+  // origin; its p·out(x) packets share n outgoing links.
+  std::sort(sources.begin(), sources.end());
+  std::int64_t run = 0;
+  Node prev = kNoNode;
+  for (const Node s : sources) {
+    run = (s == prev) ? run + 1 : 1;
+    prev = s;
+    const std::int64_t cut =
+        (run * packets_per_edge + n - 1) / n;  // ⌈p·out(x) / n⌉
+    if (cut > b.floor) b.floor = cut;
+  }
   return b;
 }
 

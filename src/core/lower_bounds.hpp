@@ -12,7 +12,10 @@
 // Theorem 1/2 constructions sit at the bound.
 #pragma once
 
+#include <span>
+
 #include "embed/embedding.hpp"
+#include "embed/path_oracle.hpp"
 
 namespace hyperpath {
 
@@ -60,5 +63,28 @@ struct PhaseCongestionBounds {
 
 PhaseCongestionBounds phase_congestion_bounds(const MultiPathEmbedding& emb,
                                               int packets_per_edge);
+
+/// Analytic congestion floor for an oracle-fed phase over a *demanded
+/// subset* of guest edges (sim/oracle_sim.hpp) — the huge-host counterpart
+/// of phase_congestion_bounds, computable without materializing anything:
+///
+///   averaging  — Σ_e p · hamming(η(u), η(v)) link crossings must happen
+///                somewhere, so some directed link of Q_n carries at least
+///                ⌈demand / n·2^n⌉.
+///   source cut — all p·out(x) packets originating at host image x leave
+///                through x's n outgoing links, so one of them carries at
+///                least ⌈p·out(x) / n⌉; the floor takes the max over x.
+///
+/// For sparse sampled demand the averaging bound is usually 1 and the
+/// source cut is the binding term.  run_oracle_phase's measured
+/// peak_congestion must be ≥ floor; bench_oracle gates on it.
+struct OraclePhaseFloor {
+  std::int64_t floor = 0;
+  std::int64_t demand_edges = 0;  // Σ_e p · hamming distance
+};
+
+OraclePhaseFloor oracle_phase_floor(const PathOracle& oracle,
+                                    std::span<const OracleEdge> edges,
+                                    int packets_per_edge);
 
 }  // namespace hyperpath

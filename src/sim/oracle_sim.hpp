@@ -1,0 +1,73 @@
+// Store-and-forward phase simulation fed directly from a PathOracle.
+//
+// The classic pipeline materializes an embedding, expands phase traffic
+// into Packet vectors with HostPath routes, then compiles a RoutePlan —
+// three copies of every route, plus per-link arena state sized by the
+// host's full 2^n·n directed links.  At Q_24 that is ~400M link slots
+// before the first packet moves; at Q_28 the dense link id itself no
+// longer fits 32 bits.
+//
+// run_oracle_phase replaces all of that with streaming compilation:
+//
+//   1. Each demanded guest edge's bundle paths are streamed hop by hop
+//      from the oracle straight into a RoutePlan (no HostPath, no Packet,
+//      no bundle vector), recording each hop's 64-bit *global* link id
+//      u·n + dim on the side.
+//   2. The global ids are sorted and deduplicated; each hop is rewritten
+//      to its rank — a plan-local 32-bit link id.  The arena is sized by
+//      the number of *distinct links the traffic touches* (≤ total hops),
+//      not by the host: memory is proportional to the active packet set,
+//      and hosts past the n = 27 dense-id ceiling work unchanged.
+//   3. A serial FIFO sweep (same visit order, arrival sorting, and
+//      one-transmission-per-link-per-step semantics as the SoA engine in
+//      store_forward.cpp) runs the plan to completion.
+//
+// Packet-per-edge scheduling matches phase_packets: the bundle indices
+// are stable-sorted by increasing path length and packet j of an edge
+// rides order[j mod width].  On a host small enough for both pipelines,
+// makespan / transmissions / congestion agree with the materialized path
+// (tests/property/oracle_sample_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "embed/path_oracle.hpp"
+#include "sim/simcore.hpp"
+
+namespace hyperpath {
+
+struct OraclePhaseSpec {
+  int packets_per_edge = 1;  // p packets per demanded guest edge
+  int max_steps = 1 << 22;   // HP_CHECK bound on the sweep
+};
+
+struct OraclePhaseResult {
+  int makespan = 0;                     // steps until every packet arrived
+  std::uint64_t delivered = 0;          // routes run to completion
+  std::uint64_t total_transmissions = 0;
+  std::uint64_t peak_congestion = 0;    // max packets routed over one link
+  std::uint32_t max_queue = 0;          // deepest FIFO seen in the sweep
+  std::uint64_t unique_links = 0;       // distinct host links touched
+  std::uint64_t route_nodes = 0;        // nodes stored in the compiled plan
+  std::uint64_t compiled_bytes = 0;     // plan + renumber table + arena
+  std::vector<std::uint64_t> dim_transmissions;  // per host dimension
+};
+
+/// Streams path `path_index` of `edge` from the oracle into `plan` as one
+/// unlinked route (simcore::RoutePlan streaming API), appending each hop's
+/// 64-bit global link id (tail·dims + dim) to `glinks`.  The caller
+/// renumbers glinks into plan-local ids after deduplication.
+void add_oracle_route(const PathOracle& oracle, const OracleEdge& edge,
+                      int path_index, std::uint32_t release_step,
+                      simcore::RoutePlan& plan,
+                      std::vector<std::uint64_t>& glinks);
+
+/// Compiles `spec.packets_per_edge` packets per demanded guest edge from
+/// the oracle's bundles and runs the FIFO phase sweep to completion.
+OraclePhaseResult run_oracle_phase(const PathOracle& oracle,
+                                   std::span<const OracleEdge> edges,
+                                   const OraclePhaseSpec& spec = {});
+
+}  // namespace hyperpath

@@ -1,6 +1,7 @@
 #include "sim/recovery.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <numeric>
 
@@ -31,20 +32,25 @@ struct MessageState {
   int delivered = 0;
 };
 
-}  // namespace
-
-RecoveryResult run_recovery(const MultiPathEmbedding& emb,
-                            const FaultSchedule& schedule,
-                            const RecoveryConfig& config,
-                            obs::TraceSink* sink) {
+/// The wave loop, templated on where bundles come from.  A context supplies
+/// num_messages()/dims()/bundle(m)/first_link(route); the materialized
+/// context answers bundle() with a span into the embedding's storage (the
+/// zero-copy hot path Monte-Carlo campaigns run thousands of times), the
+/// oracle context generates the demanded edge's bundle into a scratch
+/// vector on each call.  Identical control flow either way — the engine
+/// itself never knows which backend is probing.
+template <typename Ctx>
+RecoveryResult run_recovery_impl(Ctx& ctx, const FaultSchedule& schedule,
+                                 const RecoveryConfig& config,
+                                 obs::TraceSink* sink) {
   HP_PROFILE_SPAN("sim/recovery");
-  HP_CHECK(schedule.dims() == emb.host().dims(),
+  HP_CHECK(schedule.dims() == ctx.dims(),
            "fault schedule dims mismatch embedding host dims");
   HP_CHECK(config.timeout > 0, "recovery timeout must be positive");
   HP_CHECK(config.max_retries >= 0, "negative retry budget");
 
-  const std::size_t num_messages = emb.guest().num_edges();
-  const int dims = emb.host().dims();
+  const std::size_t num_messages = ctx.num_messages();
+  const int dims = ctx.dims();
 
   RecoveryResult result;
   result.messages.assign(num_messages, MessageOutcome{});
@@ -58,7 +64,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
   std::vector<Packet> packets;
   std::vector<Frag> frags;
   for (std::uint32_t e = 0; e < num_messages; ++e) {
-    const std::span<const HostPath> bundle = emb.paths(e);
+    const std::span<const HostPath> bundle = ctx.bundle(e);
     const int w = static_cast<int>(bundle.size());
     threshold[e] = (config.threshold <= 0) ? w
                                            : std::min(config.threshold, w);
@@ -192,7 +198,7 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
       }
       if (out.complete) continue;  // message already reconstructed
 
-      const std::span<const HostPath> bundle = emb.paths(fg.message);
+      const std::span<const HostPath> bundle = ctx.bundle(fg.message);
       const int w = static_cast<int>(bundle.size());
       bool scheduled = false;
       while (fg.attempts < config.max_retries) {
@@ -236,9 +242,9 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
         ++out.retransmissions;
         if (rtrace.enabled()) {
           const HostPath& route = bundle[chosen];
-          const std::uint64_t first_link =
-              route.size() > 1 ? emb.host().edge_id(route[0], route[1])
-                               : TraceEvent::kNoLink;
+          const std::uint64_t first_link = route.size() > 1
+                                               ? ctx.first_link(route)
+                                               : TraceEvent::kNoLink;
           rtrace.record({static_cast<std::int32_t>(detect),
                          TraceEventKind::kRetransmit, fg.message, first_link,
                          static_cast<std::uint64_t>(fg.attempts)});
@@ -279,6 +285,59 @@ RecoveryResult run_recovery(const MultiPathEmbedding& emb,
     }
   }
   return result;
+}
+
+/// Materialized context: bundles are spans into the embedding's storage.
+struct EmbeddingCtx {
+  const MultiPathEmbedding& emb;
+
+  std::size_t num_messages() const { return emb.guest().num_edges(); }
+  int dims() const { return emb.host().dims(); }
+  std::span<const HostPath> bundle(std::uint32_t m) const {
+    return emb.paths(m);
+  }
+  std::uint64_t first_link(const HostPath& route) const {
+    return emb.host().edge_id(route[0], route[1]);
+  }
+};
+
+/// Oracle context: one message per demanded guest edge, bundles generated
+/// into a scratch vector on each call (valid until the next bundle() call,
+/// which is all the wave loop needs).
+struct OracleCtx {
+  const PathOracle& oracle;
+  std::span<const OracleEdge> edges;
+  std::vector<HostPath> scratch;
+
+  std::size_t num_messages() const { return edges.size(); }
+  int dims() const { return oracle.host_dims(); }
+  std::span<const HostPath> bundle(std::uint32_t m) {
+    scratch = oracle.bundle(edges[m]);
+    return scratch;
+  }
+  std::uint64_t first_link(const HostPath& route) const {
+    return static_cast<std::uint64_t>(route[0]) * oracle.host_dims() +
+           std::countr_zero(route[0] ^ route[1]);
+  }
+};
+
+}  // namespace
+
+RecoveryResult run_recovery(const MultiPathEmbedding& emb,
+                            const FaultSchedule& schedule,
+                            const RecoveryConfig& config,
+                            obs::TraceSink* sink) {
+  EmbeddingCtx ctx{emb};
+  return run_recovery_impl(ctx, schedule, config, sink);
+}
+
+RecoveryResult run_recovery(const PathOracle& oracle,
+                            std::span<const OracleEdge> edges,
+                            const FaultSchedule& schedule,
+                            const RecoveryConfig& config,
+                            obs::TraceSink* sink) {
+  OracleCtx ctx{oracle, edges, {}};
+  return run_recovery_impl(ctx, schedule, config, sink);
 }
 
 }  // namespace hyperpath

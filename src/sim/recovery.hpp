@@ -31,6 +31,9 @@
 // canonical step order.
 #pragma once
 
+#include <span>
+
+#include "embed/path_oracle.hpp"
 #include "obs/trace.hpp"
 #include "sim/faults.hpp"
 #include "sim/packet.hpp"
@@ -122,6 +125,19 @@ struct RecoveryResult {
 /// retransmissions, fragments_lost, messages_complete, messages_total;
 /// gauges: delivery_rate, goodput; histogram: time_to_recover).
 RecoveryResult run_recovery(const MultiPathEmbedding& emb,
+                            const FaultSchedule& schedule,
+                            const RecoveryConfig& config = {},
+                            obs::TraceSink* sink = nullptr);
+
+/// Oracle-backed recovery: one message per *demanded* guest edge, bundles
+/// generated on demand from the oracle (the next-surviving-path probe
+/// included), so the engine runs on hosts whose full embedding was never
+/// materialized.  Message m in the result corresponds to edges[m].  On a
+/// MaterializedOracle over the same embedding and edges covering every
+/// guest edge in id order, results are bit-identical to the overload
+/// above; the property suite enforces it.
+RecoveryResult run_recovery(const PathOracle& oracle,
+                            std::span<const OracleEdge> edges,
                             const FaultSchedule& schedule,
                             const RecoveryConfig& config = {},
                             obs::TraceSink* sink = nullptr);

@@ -1,5 +1,8 @@
 #include "sim/simcore.hpp"
 
+#include <bit>
+
+#include "base/bits.hpp"
 #include "base/error.hpp"
 #include "sim/packet.hpp"
 
@@ -47,6 +50,54 @@ void RoutePlan::add_route(const Hypercube& host, const HostPath& route,
   route_offsets.push_back(static_cast<std::uint32_t>(link_of_hop.size()));
   route_len.push_back(static_cast<std::uint32_t>(route.size() - 1));
   release.push_back(release_step);
+}
+
+void RoutePlan::begin_route(std::uint32_t release_step) {
+  if (route_offsets.empty()) route_offsets.push_back(0);
+  stream_start_ = route_nodes.size();
+  stream_release_ = release_step;
+}
+
+void RoutePlan::push_node(Node v) { route_nodes.push_back(v); }
+
+void RoutePlan::end_route(const Hypercube& host, const char* invalid_msg) {
+  HP_CHECK(host.num_directed_edges() <= 0xffffffffull,
+           "route plan needs 32-bit link ids (hypercube too large)");
+  const std::size_t len = route_nodes.size() - stream_start_;
+  HP_CHECK(len >= 1, invalid_msg);
+  const Node* nodes = route_nodes.data() + stream_start_;
+  HP_CHECK(host.contains(nodes[0]), invalid_msg);
+  for (std::size_t h = 0; h + 1 < len; ++h) {
+    HP_CHECK(host.contains(nodes[h + 1]) &&
+                 std::popcount(nodes[h] ^ nodes[h + 1]) == 1,
+             invalid_msg);
+    link_of_hop.push_back(
+        static_cast<std::uint32_t>(host.edge_id(nodes[h], nodes[h + 1])));
+  }
+  route_offsets.push_back(static_cast<std::uint32_t>(link_of_hop.size()));
+  route_len.push_back(static_cast<std::uint32_t>(len - 1));
+  release.push_back(stream_release_);
+}
+
+void RoutePlan::end_route_unlinked(int dims, const char* invalid_msg) {
+  const std::size_t len = route_nodes.size() - stream_start_;
+  HP_CHECK(len >= 1, invalid_msg);
+  const Node* nodes = route_nodes.data() + stream_start_;
+  const std::uint64_t num_nodes = pow2(dims);
+  HP_CHECK(nodes[0] < num_nodes, invalid_msg);
+  for (std::size_t h = 0; h + 1 < len; ++h) {
+    HP_CHECK(nodes[h + 1] < num_nodes &&
+                 std::popcount(nodes[h] ^ nodes[h + 1]) == 1,
+             invalid_msg);
+  }
+  // Offsets still accumulate hop counts so nodes(r) indexing holds even
+  // though link_of_hop is filled by the caller after renumbering.
+  const std::uint64_t hops_total =
+      static_cast<std::uint64_t>(route_offsets.back()) + (len - 1);
+  HP_CHECK(hops_total <= 0xffffffffull, "route plan hop count overflow");
+  route_offsets.push_back(static_cast<std::uint32_t>(hops_total));
+  route_len.push_back(static_cast<std::uint32_t>(len - 1));
+  release.push_back(stream_release_);
 }
 
 void RoutePlan::rebuild(const Hypercube& host,

@@ -228,6 +228,22 @@ class RoutePlan {
                  std::uint32_t release_step,
                  const char* invalid_msg = "packet route invalid");
 
+  /// Streaming construction — PathOracle consumers compile routes hop by
+  /// hop with no HostPath temporary: begin_route(), push_node() per node,
+  /// then one of the end_route flavors.  end_route(host) computes global
+  /// dense link ids exactly like add_route (checked 32-bit narrowing);
+  /// end_route_unlinked(dims) validates the walk within Q_dims but leaves
+  /// link_of_hop for the caller — the compact-link oracle simulator
+  /// renumbers 64-bit global ids into plan-local ones after deduplication,
+  /// which is what lets plans address hosts past the n = 27 dense-id
+  /// ceiling.  Do not mix unlinked routes with linked ones in one plan.
+  void begin_route(std::uint32_t release_step);
+  void push_node(Node v);
+  void end_route(const Hypercube& host,
+                 const char* invalid_msg = "packet route invalid");
+  void end_route_unlinked(int dims,
+                          const char* invalid_msg = "packet route invalid");
+
   std::uint32_t num_routes() const {
     return static_cast<std::uint32_t>(route_len.size());
   }
@@ -245,6 +261,10 @@ class RoutePlan {
   std::vector<std::uint32_t> link_of_hop;   // dense link id per hop
   std::vector<std::uint32_t> route_len;     // hops per route (nodes - 1)
   std::vector<std::uint32_t> release;       // earliest step a route may move
+
+ private:
+  std::size_t stream_start_ = 0;      // route_nodes index of the open route
+  std::uint32_t stream_release_ = 0;  // release step of the open route
 };
 
 /// Thread-local, run-scoped scratch arena for the SoA step path.  The hot

@@ -1,0 +1,121 @@
+// Backend equivalence: the algebraic PathOracle generators must be
+// bit-identical to MaterializedOracle over the real embeddings — same
+// guest shape, same out-edge enumeration, same η, same bundle widths and
+// declared hop counts, same node sequence of every bundle path of every
+// guest edge.  Exhaustive at materializable sizes; this suite is the
+// license to run the algebraic backend alone at Q_20+ where the
+// materialized side cannot exist.
+#include <gtest/gtest.h>
+
+#include "core/algebraic_oracle.hpp"
+#include "core/cycle_multipath.hpp"
+#include "core/grid_multipath.hpp"
+#include "core/largecopy.hpp"
+#include "embed/path_oracle.hpp"
+
+namespace hyperpath {
+namespace {
+
+/// Exhaustively compares two oracles: shape, η, out-edge walks, widths,
+/// declared hop counts, and the node sequence of every path.
+void expect_equivalent(const PathOracle& alg, const PathOracle& mat) {
+  ASSERT_EQ(alg.host_dims(), mat.host_dims());
+  ASSERT_EQ(alg.guest_nodes(), mat.guest_nodes());
+  ASSERT_EQ(alg.guest_edges(), mat.guest_edges());
+  for (OracleId g = 0; g < alg.guest_nodes(); ++g) {
+    ASSERT_EQ(alg.host_of(g), mat.host_of(g)) << "eta mismatch at guest " << g;
+    ASSERT_EQ(alg.out_degree(g), mat.out_degree(g)) << "guest " << g;
+    for (int s = 0; s < alg.out_degree(g); ++s) {
+      const OracleEdge e = alg.out_edge(g, s);
+      ASSERT_EQ(e, mat.out_edge(g, s)) << "guest " << g << " slot " << s;
+      ASSERT_EQ(alg.width(e), mat.width(e)) << "guest " << g << " slot " << s;
+      for (int i = 0; i < alg.width(e); ++i) {
+        ASSERT_EQ(alg.path_hops(e, i), mat.path_hops(e, i))
+            << "guest " << g << " slot " << s << " path " << i;
+        ASSERT_EQ(alg.path_vec(e, i), mat.path_vec(e, i))
+            << "guest " << g << " slot " << s << " path " << i;
+      }
+    }
+  }
+}
+
+TEST(OracleEquiv, Theorem1AllSupportedSmall) {
+  for (const int n : {4, 5, 6, 7, 8, 9, 10, 11}) {
+    SCOPED_TRACE(n);
+    const MultiPathEmbedding emb = theorem1_cycle_embedding(n);
+    const MaterializedOracle mat(emb);
+    const auto alg = algebraic_theorem1_oracle(n);
+    expect_equivalent(*alg, mat);
+  }
+}
+
+TEST(OracleEquiv, Theorem1Q16) {
+  const MultiPathEmbedding emb = theorem1_cycle_embedding(16);
+  const MaterializedOracle mat(emb);
+  const auto alg = algebraic_theorem1_oracle(16);
+  expect_equivalent(*alg, mat);
+}
+
+TEST(OracleEquiv, TorusSquare) {
+  const GridSpec spec{{16, 16}, true};
+  ASSERT_TRUE(algebraic_grid_supported(spec));
+  const MultiPathEmbedding emb = grid_multipath_embedding(spec);
+  const MaterializedOracle mat(emb);
+  const auto alg = algebraic_grid_oracle(spec);
+  expect_equivalent(*alg, mat);
+}
+
+TEST(OracleEquiv, TorusRectangular) {
+  const GridSpec spec{{256, 16}, true};
+  ASSERT_TRUE(algebraic_grid_supported(spec));
+  const MultiPathEmbedding emb = grid_multipath_embedding(spec);
+  const MaterializedOracle mat(emb);
+  const auto alg = algebraic_grid_oracle(spec);
+  expect_equivalent(*alg, mat);
+}
+
+TEST(OracleEquiv, GridNonPow2NonWrap) {
+  const GridSpec spec{{10, 17}, false};
+  ASSERT_TRUE(algebraic_grid_supported(spec));
+  const MultiPathEmbedding emb = grid_multipath_embedding(spec);
+  const MaterializedOracle mat(emb);
+  const auto alg = algebraic_grid_oracle(spec);
+  expect_equivalent(*alg, mat);
+}
+
+TEST(OracleEquiv, TorusQ16Large) {
+  const GridSpec spec{{1024, 64}, true};
+  ASSERT_TRUE(algebraic_grid_supported(spec));
+  const MultiPathEmbedding emb = grid_multipath_embedding(spec);
+  const MaterializedOracle mat(emb);
+  const auto alg = algebraic_grid_oracle(spec);
+  expect_equivalent(*alg, mat);
+}
+
+TEST(OracleEquiv, Largecopy) {
+  for (const int n : {2, 3, 4, 5, 6, 7, 8}) {
+    SCOPED_TRACE(n);
+    const MultiPathEmbedding emb = largecopy_directed_cycle(n);
+    const MaterializedOracle mat(emb);
+    const auto alg = algebraic_largecopy_oracle(n);
+    expect_equivalent(*alg, mat);
+  }
+}
+
+/// The sampling verifier must agree between backends too: same seed, same
+/// sampled edges, same digest — so a Q_20+ algebraic digest is comparable
+/// to a small-n materialized one in reports.
+TEST(OracleEquiv, SampleDigestMatchesAcrossBackends) {
+  const MultiPathEmbedding emb = theorem1_cycle_embedding(8);
+  const MaterializedOracle mat(emb);
+  const auto alg = algebraic_theorem1_oracle(8);
+  const OracleSampleReport a = oracle_sample_check(*alg, 64, 123);
+  const OracleSampleReport b = oracle_sample_check(mat, 64, 123);
+  EXPECT_EQ(a.edges_checked, b.edges_checked);
+  EXPECT_EQ(a.paths_checked, b.paths_checked);
+  EXPECT_EQ(a.hops_checked, b.hops_checked);
+  EXPECT_EQ(a.node_digest, b.node_digest);
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -1,0 +1,230 @@
+// The algebraic oracle at scale: Q_20–Q_30 hosts that can never be
+// materialized, verified by the sampling contract (endpoints, host
+// adjacency, declared lengths, pairwise edge-disjointness), plus the
+// oracle-fed consumers — RoutePlan streaming compilation, the compact-link
+// phase simulator against its analytic congestion floor, and oracle-backed
+// recovery — cross-checked against the materialized pipeline where both
+// exist.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "core/algebraic_oracle.hpp"
+#include "core/cycle_multipath.hpp"
+#include "core/lower_bounds.hpp"
+#include "sim/faults.hpp"
+#include "sim/oracle_sim.hpp"
+#include "sim/phase.hpp"
+#include "sim/recovery.hpp"
+#include "sim/simcore.hpp"
+#include "sim/store_forward.hpp"
+
+namespace hyperpath {
+namespace {
+
+TEST(OracleSample, Q20Torus) {
+  const auto oracle = algebraic_grid_oracle(GridSpec{{1024, 1024}, true});
+  ASSERT_EQ(oracle->host_dims(), 20);
+  const OracleSampleReport rep = oracle_sample_check(*oracle, 512, 2024);
+  EXPECT_EQ(rep.edges_checked, 512u);
+  EXPECT_GT(rep.paths_checked, rep.edges_checked);
+}
+
+TEST(OracleSample, Q24Torus) {
+  const auto oracle = algebraic_grid_oracle(GridSpec{{256, 256, 256}, true});
+  ASSERT_EQ(oracle->host_dims(), 24);
+  const OracleSampleReport rep = oracle_sample_check(*oracle, 512, 7);
+  EXPECT_EQ(rep.edges_checked, 512u);
+}
+
+TEST(OracleSample, Q30Torus) {
+  const auto oracle =
+      algebraic_grid_oracle(GridSpec{{256, 256, 256, 64}, true});
+  ASSERT_EQ(oracle->host_dims(), 30);
+  const OracleSampleReport rep = oracle_sample_check(*oracle, 256, 30);
+  EXPECT_EQ(rep.edges_checked, 256u);
+}
+
+/// Streaming compilation must produce byte-for-byte the plan that
+/// RoutePlan::compile builds from materialized phase packets.
+TEST(OracleSample, RoutePlanStreamingMatchesCompile) {
+  const MultiPathEmbedding emb = theorem1_cycle_embedding(8);
+  const Hypercube& host = emb.host();
+  const std::vector<Packet> packets = phase_packets(emb, 5);
+  const simcore::RoutePlan compiled = simcore::RoutePlan::compile(host, packets);
+
+  simcore::RoutePlan streamed;
+  for (const Packet& p : packets) {
+    streamed.begin_route(static_cast<std::uint32_t>(p.release));
+    for (const Node v : p.route) streamed.push_node(v);
+    streamed.end_route(host);
+  }
+  EXPECT_EQ(streamed.route_nodes, compiled.route_nodes);
+  EXPECT_EQ(streamed.route_offsets, compiled.route_offsets);
+  EXPECT_EQ(streamed.link_of_hop, compiled.link_of_hop);
+  EXPECT_EQ(streamed.route_len, compiled.route_len);
+  EXPECT_EQ(streamed.release, compiled.release);
+}
+
+/// end_route_unlinked validates the walk but defers link ids; offsets and
+/// lengths must still line up with the linked flavor.
+TEST(OracleSample, RoutePlanUnlinkedOffsets) {
+  const Hypercube host(4);
+  simcore::RoutePlan plan;
+  plan.begin_route(0);
+  for (const Node v : {0u, 1u, 3u}) plan.push_node(v);
+  plan.end_route_unlinked(4);
+  plan.begin_route(2);
+  for (const Node v : {7u, 5u}) plan.push_node(v);
+  plan.end_route_unlinked(4);
+  ASSERT_EQ(plan.num_routes(), 2u);
+  EXPECT_EQ(plan.route_offsets, (std::vector<std::uint32_t>{0, 2, 3}));
+  EXPECT_EQ(plan.route_len, (std::vector<std::uint32_t>{2, 1}));
+  EXPECT_EQ(plan.release, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(plan.nodes(0)[0], 0u);
+  EXPECT_EQ(plan.nodes(1)[1], 5u);
+  EXPECT_TRUE(plan.link_of_hop.empty());
+}
+
+TEST(OracleSample, RoutePlanUnlinkedRejectsBadWalk) {
+  simcore::RoutePlan plan;
+  plan.begin_route(0);
+  plan.push_node(0);
+  plan.push_node(3);  // two bits flipped: not a hypercube hop
+  EXPECT_THROW(plan.end_route_unlinked(4), Error);
+}
+
+/// The compact-link phase sweep must reproduce the dense-link SoA engine's
+/// measurements exactly when both can run: renumbering links is a
+/// bijection, so queue dynamics are unchanged.
+TEST(OracleSample, PhaseSimMatchesMaterializedPipeline) {
+  const int p = 5;
+  const MultiPathEmbedding emb = theorem1_cycle_embedding(8);
+  const MaterializedOracle mat(emb);
+  const auto alg = algebraic_theorem1_oracle(8);
+
+  std::vector<OracleEdge> edges;
+  for (OracleId g = 0; g < alg->guest_nodes(); ++g) {
+    for (int s = 0; s < alg->out_degree(g); ++s) {
+      edges.push_back(alg->out_edge(g, s));
+    }
+  }
+
+  OraclePhaseSpec spec;
+  spec.packets_per_edge = p;
+  const OraclePhaseResult from_alg = run_oracle_phase(*alg, edges, spec);
+  const OraclePhaseResult from_mat = run_oracle_phase(mat, edges, spec);
+  EXPECT_EQ(from_alg.makespan, from_mat.makespan);
+  EXPECT_EQ(from_alg.total_transmissions, from_mat.total_transmissions);
+  EXPECT_EQ(from_alg.peak_congestion, from_mat.peak_congestion);
+  EXPECT_EQ(from_alg.max_queue, from_mat.max_queue);
+  EXPECT_EQ(from_alg.unique_links, from_mat.unique_links);
+  EXPECT_EQ(from_alg.dim_transmissions, from_mat.dim_transmissions);
+
+  // Same dynamics as the classic dense-link pipeline.
+  const StoreForwardSim sim(emb.host().dims());
+  const SimResult classic = sim.run(phase_packets(emb, p));
+  EXPECT_EQ(from_alg.makespan, classic.makespan);
+  EXPECT_EQ(from_alg.total_transmissions, classic.total_transmissions);
+  EXPECT_EQ(from_alg.max_queue,
+            static_cast<std::uint32_t>(classic.max_queue));
+  EXPECT_EQ(from_alg.dim_transmissions, classic.dim_transmissions);
+  EXPECT_EQ(from_alg.delivered,
+            static_cast<std::uint64_t>(edges.size()) * p);
+}
+
+/// Q_24 end to end from the algebraic backend: every packet delivered and
+/// the measured congestion at or above the analytic floor.
+TEST(OracleSample, Q24PhaseRespectsCongestionFloor) {
+  const auto oracle = algebraic_grid_oracle(GridSpec{{256, 256, 256}, true});
+  const std::vector<OracleEdge> edges =
+      sample_guest_edges(*oracle, 4000, 99);
+  OraclePhaseSpec spec;
+  spec.packets_per_edge = 8;
+  const OraclePhaseResult r = run_oracle_phase(*oracle, edges, spec);
+  const OraclePhaseFloor floor = oracle_phase_floor(*oracle, edges, 8);
+  EXPECT_EQ(r.delivered, edges.size() * 8u);
+  EXPECT_GE(static_cast<std::int64_t>(r.peak_congestion), floor.floor);
+  EXPECT_GE(r.makespan, 1);
+  // Memory ∝ traffic, not host: the plan can never exceed a few nodes and
+  // links per hop of demand, where the dense Q_24 link array alone would
+  // hold 400M entries.
+  EXPECT_LE(r.unique_links, static_cast<std::uint64_t>(edges.size()) * 8 * 4);
+}
+
+/// Oracle-backed recovery must be bit-identical to the embedding overload
+/// when the demanded edges cover every guest edge in id order.
+TEST(OracleSample, RecoveryMatchesEmbeddingBackend) {
+  const MultiPathEmbedding emb = theorem1_cycle_embedding(8);
+  const MaterializedOracle mat(emb);
+
+  std::vector<OracleEdge> edges;
+  for (OracleId g = 0; g < mat.guest_nodes(); ++g) {
+    for (int s = 0; s < mat.out_degree(g); ++s) {
+      edges.push_back(mat.out_edge(g, s));
+    }
+  }
+  ASSERT_EQ(edges.size(), mat.guest_edges());
+
+  FaultSchedule schedule(emb.host().dims());
+  schedule.link_down(1, 0, 1);
+  schedule.link_down(2, 112, 114);
+  schedule.transient_link(0, 6, 48, 50);
+
+  RecoveryConfig config;
+  config.timeout = 4;
+  config.max_retries = 3;
+  config.threshold = 0;
+  config.update_registry = false;
+
+  const RecoveryResult a = run_recovery(emb, schedule, config);
+  const RecoveryResult b = run_recovery(mat, edges, schedule, config);
+  EXPECT_EQ(a.messages_total, b.messages_total);
+  EXPECT_EQ(a.messages_complete, b.messages_complete);
+  EXPECT_EQ(a.messages_recovered, b.messages_recovered);
+  EXPECT_EQ(a.fragments_sent, b.fragments_sent);
+  EXPECT_EQ(a.fragments_delivered, b.fragments_delivered);
+  EXPECT_EQ(a.fragments_lost, b.fragments_lost);
+  EXPECT_EQ(a.fragments_exhausted, b.fragments_exhausted);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.waves, b.waves);
+  EXPECT_EQ(a.total_transmissions, b.total_transmissions);
+  EXPECT_EQ(a.useful_transmissions, b.useful_transmissions);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t m = 0; m < a.messages.size(); ++m) {
+    EXPECT_EQ(a.messages[m].complete, b.messages[m].complete) << m;
+    EXPECT_EQ(a.messages[m].complete_step, b.messages[m].complete_step) << m;
+    EXPECT_EQ(a.messages[m].first_loss_step, b.messages[m].first_loss_step)
+        << m;
+    EXPECT_EQ(a.messages[m].fragments_delivered,
+              b.messages[m].fragments_delivered)
+        << m;
+    EXPECT_EQ(a.messages[m].retransmissions, b.messages[m].retransmissions)
+        << m;
+  }
+}
+
+/// Oracle recovery on a host too big to materialize: a handful of messages
+/// ride Q_24 bundles through a fault on one of their own links.
+TEST(OracleSample, Q24RecoverySurvivesSingleFault) {
+  const auto oracle = algebraic_grid_oracle(GridSpec{{256, 256, 256}, true});
+  const std::vector<OracleEdge> edges = sample_guest_edges(*oracle, 16, 5);
+
+  // Kill the first link of edge 0's first bundle path; IDA threshold w-1
+  // means every message still completes (§9 single-fault claim).
+  const std::vector<HostPath> bundle = oracle->bundle(edges[0]);
+  FaultSchedule schedule(oracle->host_dims());
+  schedule.link_down(0, bundle[0][0], bundle[0][1]);
+
+  RecoveryConfig config;
+  config.timeout = 4;
+  config.threshold = static_cast<int>(bundle.size()) - 1;
+  config.update_registry = false;
+
+  const RecoveryResult r = run_recovery(*oracle, edges, schedule, config);
+  EXPECT_EQ(r.messages_total, edges.size());
+  EXPECT_EQ(r.messages_complete, edges.size());
+}
+
+}  // namespace
+}  // namespace hyperpath

@@ -52,7 +52,7 @@ const std::vector<std::string> kSuite = {
     "grids",        "relaxation", "hamdecomp",    "ccc_multicopy",
     "transform",    "trees",      "bitserial",    "largecopy",
     "faults",       "recovery",   "mc",           "parallel_sim",
-    "simcore",      "ablation",   "par",
+    "simcore",      "ablation",   "par",          "oracle",
 };
 
 /// Outcome slot of one bench, filled by its pool task and consumed in

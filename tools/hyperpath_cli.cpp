@@ -70,6 +70,7 @@
 
 #include "base/moment.hpp"
 #include "ccc/ccc_embed.hpp"
+#include "core/algebraic_oracle.hpp"
 #include "core/cycle_multipath.hpp"
 #include "core/grid_multipath.hpp"
 #include "embed/classical.hpp"
@@ -133,6 +134,131 @@ int cmd_grid(int argc, char** argv) {
               emb.dilation(), emb.load(), emb.expansion());
   std::printf("  2-packet phase cost: %d\n",
               measure_phase_cost(emb, 2).makespan);
+  return 0;
+}
+
+// route: print bundle paths for one guest edge straight from the algebraic
+// oracle — no embedding is ever materialized, so Q_24+ hosts answer
+// instantly.  --verify-sample K additionally runs the sampling-verification
+// contract (endpoints, host adjacency, declared lengths, edge-disjointness)
+// over K seeded random guest edges.
+int cmd_route(int argc, char** argv) {
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: route <cycle N | torus SIDE... | grid SIDE... | "
+                 "largecopy N>\n"
+                 "             [--edge FROM[,TO]] [--path I] "
+                 "[--verify-sample K] [--seed S]\n");
+    return 1;
+  };
+  if (argc < 2) return usage();
+
+  std::unique_ptr<PathOracle> oracle;
+  const std::string fam = argv[0];
+  int i = 1;
+  if (fam == "cycle") {
+    const int n = std::atoi(argv[i++]);
+    if (!cycle_multipath_supported(n)) {
+      std::fprintf(stderr, "n = %d unsupported (need ⌊n/4⌋ a power of two)\n",
+                   n);
+      return 1;
+    }
+    oracle = algebraic_theorem1_oracle(n);
+  } else if (fam == "largecopy") {
+    const int n = std::atoi(argv[i++]);
+    if (n < 2 || n > 15) {
+      std::fprintf(stderr, "largecopy needs 2 <= n <= 15\n");
+      return 1;
+    }
+    oracle = algebraic_largecopy_oracle(n);
+  } else if (fam == "torus" || fam == "grid") {
+    GridSpec spec;
+    spec.wrap = fam == "torus";
+    while (i < argc && argv[i][0] != '-') {
+      spec.sides.push_back(static_cast<Node>(std::atoi(argv[i++])));
+    }
+    if (!algebraic_grid_supported(spec)) {
+      std::fprintf(stderr, "unsupported %s spec for the algebraic oracle\n",
+                   fam.c_str());
+      return 1;
+    }
+    oracle = algebraic_grid_oracle(spec);
+  } else {
+    return usage();
+  }
+
+  bool have_edge = false, have_to = false;
+  OracleEdge edge;
+  long long path_index = -1;
+  std::uint64_t verify = 0, seed = 1;
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--edge" && i + 1 < argc) {
+      char* rest = nullptr;
+      edge.from = std::strtoull(argv[++i], &rest, 10);
+      if (rest != nullptr && *rest == ',') {
+        edge.to = std::strtoull(rest + 1, nullptr, 10);
+        have_to = true;
+      }
+      have_edge = true;
+    } else if (a == "--path" && i + 1 < argc) {
+      path_index = std::atoll(argv[++i]);
+    } else if (a == "--verify-sample" && i + 1 < argc) {
+      verify = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+
+  std::printf("%s oracle: host Q_%d, guest %llu nodes / %llu edges\n",
+              oracle->family(), oracle->host_dims(),
+              static_cast<unsigned long long>(oracle->guest_nodes()),
+              static_cast<unsigned long long>(oracle->guest_edges()));
+
+  if (have_edge) {
+    if (edge.from >= oracle->guest_nodes()) {
+      std::fprintf(stderr, "guest node %llu out of range\n",
+                   static_cast<unsigned long long>(edge.from));
+      return 1;
+    }
+    if (!have_to) {
+      if (oracle->out_degree(edge.from) == 0) {
+        std::fprintf(stderr, "guest node %llu has no out-edges\n",
+                     static_cast<unsigned long long>(edge.from));
+        return 1;
+      }
+      edge = oracle->out_edge(edge.from, 0);
+    }
+    const int w = oracle->width(edge);
+    std::printf("edge %llu -> %llu: eta %u -> %u, width %d\n",
+                static_cast<unsigned long long>(edge.from),
+                static_cast<unsigned long long>(edge.to),
+                oracle->host_of(edge.from), oracle->host_of(edge.to), w);
+    const int lo = path_index >= 0 ? static_cast<int>(path_index) : 0;
+    const int hi = path_index >= 0 ? static_cast<int>(path_index) + 1 : w;
+    if (lo >= w) {
+      std::fprintf(stderr, "path index %d out of range (width %d)\n", lo, w);
+      return 1;
+    }
+    for (int idx = lo; idx < hi; ++idx) {
+      const HostPath p = oracle->path_vec(edge, idx);
+      std::printf("  path %d (%u hops):", idx, oracle->path_hops(edge, idx));
+      for (Node v : p) std::printf(" %u", v);
+      std::printf("\n");
+    }
+  }
+
+  if (verify > 0) {
+    const OracleSampleReport rep = oracle_sample_check(*oracle, verify, seed);
+    std::printf("verify-sample: %llu edges, %llu paths, %llu hops checked; "
+                "digest %016llx\n",
+                static_cast<unsigned long long>(rep.edges_checked),
+                static_cast<unsigned long long>(rep.paths_checked),
+                static_cast<unsigned long long>(rep.hops_checked),
+                static_cast<unsigned long long>(rep.node_digest));
+  }
   return 0;
 }
 
@@ -964,7 +1090,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s [--threads N] "
-                 "cycle|grid|ccc|decomp|moments|faults|campaign|trace|"
+                 "cycle|grid|route|ccc|decomp|moments|faults|campaign|trace|"
                  "analyze|watch ...\n",
                  argv[0]);
     return 1;
@@ -973,6 +1099,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "cycle" && argc >= 3) return cmd_cycle(std::atoi(argv[2]));
     if (cmd == "grid") return cmd_grid(argc - 2, argv + 2);
+    if (cmd == "route") return cmd_route(argc - 2, argv + 2);
     if (cmd == "ccc" && argc >= 3) return cmd_ccc(std::atoi(argv[2]));
     if (cmd == "decomp" && argc >= 3) return cmd_decomp(std::atoi(argv[2]));
     if (cmd == "moments" && argc >= 3) return cmd_moments(std::atoi(argv[2]));
